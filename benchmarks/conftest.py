@@ -1,0 +1,108 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every table and figure in the paper's evaluation has one benchmark
+module here; each prints the paper-formatted rows, asserts the
+*shape* of the result (who wins, by what factor, where crossovers
+fall), and writes its table to ``benchmarks/results/`` so the numbers
+in ``EXPERIMENTS.md`` are regenerable.
+
+The expensive 2 GiB Redis world (Tables 3-4) is built once per session
+and shared.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.apps.hello import HelloWorldApp
+from repro.apps.kvstore import RedisLikeServer
+from repro.core.backends import MemoryBackend, make_disk_backend
+from repro.core.orchestrator import SLS
+from repro.hw.nvme import NvmeDevice
+from repro.posix.kernel import Kernel
+from repro.units import GIB
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Render, print, and persist one paper-style table."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text
+
+
+class RedisWorld:
+    """The paper's Table 3/4 testbed: Redis with a 2 GiB working set.
+
+    Built lazily; the full + incremental checkpoint images are taken
+    once (that run *is* the Table 3 measurement) and reused by Table 4.
+    """
+
+    WORKING_SET = 2 * GIB
+    DIRTY_FRACTION = 0.10
+    CLIENTS = 40
+
+    def __init__(self):
+        self.kernel = Kernel(memory_bytes=96 * GIB)
+        self.sls = SLS(self.kernel)
+        self.server = RedisLikeServer(self.kernel, working_set=self.WORKING_SET)
+        self.server.load_dataset()
+        self.server.accept_clients(self.CLIENTS)
+        self.group = self.sls.persist(self.server.proc, name="redis")
+        self.disk = make_disk_backend(
+            self.kernel, NvmeDevice(self.kernel.clock, name="optane0")
+        )
+        self.group.attach(self.disk)
+        self.group.attach(MemoryBackend("memory"))
+        self.full_image = None
+        self.incr_image = None
+
+    def ensure_images(self):
+        if self.full_image is None:
+            self.full_image = self.sls.checkpoint(self.group, name="redis-full")
+            self.server.dirty_fraction(self.DIRTY_FRACTION)
+            self.incr_image = self.sls.checkpoint(self.group, name="redis-incr")
+            self.sls.barrier(self.group)
+        return self.full_image, self.incr_image
+
+
+class HelloWorld:
+    """The serverless stand-in for Table 4's right columns."""
+
+    def __init__(self):
+        self.kernel = Kernel(memory_bytes=8 * GIB)
+        self.sls = SLS(self.kernel)
+        self.app = HelloWorldApp(self.kernel)
+        self.app.initialize()
+        self.group = self.sls.persist(self.app.proc, name="serverless")
+        self.disk = make_disk_backend(
+            self.kernel, NvmeDevice(self.kernel.clock, name="optane0")
+        )
+        self.group.attach(self.disk)
+        self.group.attach(MemoryBackend("memory"))
+        self.image = self.sls.checkpoint(self.group, name="hello-warm")
+        self.sls.barrier(self.group)
+
+
+@pytest.fixture(scope="session")
+def redis_world():
+    return RedisWorld()
+
+
+@pytest.fixture(scope="session")
+def hello_world():
+    return HelloWorld()

@@ -1,0 +1,90 @@
+"""Ablation — storage hardware makes the SLS practical (§1/§2).
+
+"SLSes have been impractical to build for decades for performance
+reasons, but this has changed with the advent of new storage
+technologies. ... Modern flash, coupled with fast PCIe Gen 4-5, has
+largely closed the performance gap with memory."
+
+Runs the same 100 Hz checkpoint workload against four generations of
+backing store — NVDIMM, Optane, NAND flash, spinning disk — and
+reports whether the flush pipeline keeps up with the checkpoint rate.
+Expected crossover: NVDIMM/Optane/NAND sustain 100 Hz; the spinning
+disk cannot (its seek-bound flushes fall behind the 10 ms period),
+which is exactly why EROS-era SLSes spent their effort masking disk
+latency.
+"""
+
+from conftest import report
+
+from repro.apps.kvstore import RedisLikeServer
+from repro.core.backends import DiskBackend
+from repro.core.orchestrator import SLS
+from repro.hw.device import StorageDevice
+from repro.hw.specs import NAND_SSD, NVDIMM_SPEC, OPTANE_900P, SPINNING_DISK
+from repro.objstore.store import ObjectStore
+from repro.posix.kernel import Kernel
+from repro.units import GIB, MIB, MSEC, SEC, fmt_time
+
+DEVICES = [
+    ("NVDIMM", NVDIMM_SPEC),
+    ("Optane 900P", OPTANE_900P),
+    ("NAND SSD", NAND_SSD),
+    ("7200rpm HDD", SPINNING_DISK),
+]
+RATE_HZ = 100
+TICKS = 20
+DIRTY = 0.02
+
+
+def run_on(spec):
+    kernel = Kernel(memory_bytes=16 * GIB)
+    sls = SLS(kernel)
+    server = RedisLikeServer(kernel, working_set=64 * MIB)
+    server.load_dataset()
+    group = sls.persist(server.proc, name="redis")
+    device = StorageDevice(spec, kernel.clock, name="backend")
+    group.attach(DiskBackend("disk0", ObjectStore(device, mem=kernel.mem)))
+    period_ns = SEC // RATE_HZ
+    # Amortize the one-time full checkpoint before judging the steady
+    # state (its flush is identical across devices in *shape*).
+    sls.checkpoint(group)
+    sls.barrier(group)
+    images = []
+    for tick in range(TICKS):
+        server.dirty_fraction(DIRTY, stride_tag=b"t%d" % tick)
+        images.append(sls.checkpoint(group))
+        kernel.run_for(period_ns)
+    sls.barrier(group)  # let every flush land, then judge the lags
+    lags = [
+        image.metrics.durable_at_ns - (image.metrics.started_at_ns + period_ns)
+        for image in images
+    ]
+    mean_stop = group.stats.mean_stop_ns()
+    worst_lag = max(lags)
+    return mean_stop, worst_lag
+
+
+def test_device_generations(benchmark):
+    results = benchmark.pedantic(
+        lambda: [(name, *run_on(spec)) for name, spec in DEVICES],
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [name, fmt_time(int(stop)),
+         fmt_time(max(0, lag)) if lag > 0 else "keeps up",
+         "yes" if lag <= 0 else "NO"]
+        for name, stop, lag in results
+    ]
+    report(
+        "ablation_devices",
+        f"Ablation: sustaining {RATE_HZ} Hz checkpoints across storage"
+        " generations (64 MiB Redis, 2% dirty/interval)",
+        ["Backend", "Mean stop time", "Worst flush lag vs period",
+         "Sustains 100 Hz"],
+        rows,
+    )
+    by_name = dict((name, lag) for name, _stop, lag in results)
+    # Modern devices keep up; the spinning disk falls behind.
+    assert by_name["NVDIMM"] <= 0
+    assert by_name["Optane 900P"] <= 0
+    assert by_name["7200rpm HDD"] > 10 * MSEC

@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the core primitives (host-time, pytest-benchmark).
+
+Unlike the table/ablation benchmarks — which measure *virtual* time on
+the calibrated cost model — these measure how fast the simulator
+itself executes its hot paths on the host, the number that bounds how
+large an experiment the harness can run.  Useful when hacking on the
+substrate; no paper claims attached.
+"""
+
+import pytest
+
+from repro.mem.address_space import AddressSpace, MemContext
+from repro.mem.cow import AuroraCow
+from repro.mem.phys import PhysicalMemory
+from repro.objstore.checksum import fletcher64
+from repro.objstore.record import decode, encode
+from repro.objstore.store import ObjectStore
+from repro.hw.nvme import NvmeDevice
+from repro.sim.clock import SimClock
+from repro.units import GIB, PAGE_SIZE
+
+
+@pytest.fixture
+def world():
+    mem = MemContext(SimClock(), PhysicalMemory(total_bytes=4 * GIB))
+    cow = AuroraCow(mem)
+    aspace = AddressSpace(mem, "bench")
+    entry = aspace.mmap(1024 * PAGE_SIZE, name="heap")
+    aspace.populate(entry.start, 1024 * PAGE_SIZE, fill_fn=lambda i: b"p%d" % i)
+    return mem, cow, aspace, entry
+
+
+def test_micro_fault_path(benchmark, world):
+    mem, cow, aspace, entry = world
+    counter = [0]
+
+    def fault_new_page():
+        counter[0] += 1
+        target = entry.start + (counter[0] % 1024) * PAGE_SIZE
+        aspace.write(target, b"write")
+
+    benchmark(fault_new_page)
+
+
+def test_micro_freeze_per_page(benchmark, world):
+    mem, cow, aspace, entry = world
+
+    def freeze_all():
+        return cow.freeze(aspace.vm_objects())
+
+    result = benchmark.pedantic(freeze_all, rounds=1, iterations=1)
+    assert len(result) >= 1024
+
+
+def test_micro_cow_fault(benchmark, world):
+    mem, cow, aspace, entry = world
+    cow.freeze(aspace.vm_objects())
+    counter = [0]
+
+    def cow_write():
+        counter[0] += 1
+        aspace.write(entry.start + (counter[0] % 1024) * PAGE_SIZE, b"x")
+
+    benchmark(cow_write)
+
+
+def test_micro_codec_roundtrip(benchmark):
+    value = {
+        "procs": [{"pid": i, "name": f"p{i}", "regs": list(range(16))}
+                  for i in range(20)],
+        "blob": b"\x00" * 512,
+    }
+
+    def roundtrip():
+        return decode(encode(value))
+
+    assert benchmark(roundtrip)["procs"][3]["pid"] == 3
+
+
+def test_micro_fletcher64(benchmark):
+    data = bytes(range(256)) * 16  # 4 KiB
+
+    benchmark(fletcher64, data)
+
+
+def test_micro_store_write_page(benchmark):
+    store = ObjectStore(NvmeDevice(SimClock()))
+    counter = [0]
+
+    def write_unique_page():
+        counter[0] += 1
+        return store.write_page(b"payload-%d" % counter[0])
+
+    benchmark(write_unique_page)

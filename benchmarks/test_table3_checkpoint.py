@@ -1,0 +1,83 @@
+"""Table 3 — stop-time breakdown checkpointing Redis (2 GiB).
+
+Paper (Aurora on Optane 900P):
+
+    Checkpoint               Full        Incremental
+    Metadata copy            267.9 us    239.7 us
+    Lazy data copy           5145.9 us   711.1 us
+    Application stop time    5413.8 us   950.8 us
+
+Expected shape: metadata cost roughly equal; incremental lazy copy
+~7× cheaper; incremental total stop time below 1 ms; Redis never
+waits for data to reach storage (external consistency + async flush).
+"""
+
+from conftest import report
+
+from repro.units import MSEC, fmt_time
+
+PAPER = {
+    "full": {"meta": 267.9, "data": 5145.9, "stop": 5413.8},
+    "incr": {"meta": 239.7, "data": 711.1, "stop": 950.8},
+}
+
+
+def test_table3_stop_time_breakdown(benchmark, redis_world):
+    def run():
+        return redis_world.ensure_images()
+
+    full, incr = benchmark.pedantic(run, rounds=1, iterations=1)
+    fm, im = full.metrics, incr.metrics
+
+    rows = [
+        ["Metadata copy",
+         fmt_time(fm.metadata_copy_ns), f"{PAPER['full']['meta']} us",
+         fmt_time(im.metadata_copy_ns), f"{PAPER['incr']['meta']} us"],
+        ["Lazy data copy",
+         fmt_time(fm.data_copy_ns), f"{PAPER['full']['data']} us",
+         fmt_time(im.data_copy_ns), f"{PAPER['incr']['data']} us"],
+        ["Application stop time",
+         fmt_time(fm.stop_time_ns), f"{PAPER['full']['stop']} us",
+         fmt_time(im.stop_time_ns), f"{PAPER['incr']['stop']} us"],
+    ]
+    report(
+        "table3",
+        "Table 3: stop time checkpointing Redis, 2 GiB working set",
+        ["Checkpoint", "Full (ours)", "Full (paper)",
+         "Incr (ours)", "Incr (paper)"],
+        rows,
+    )
+    benchmark.extra_info.update(
+        full_stop_us=fm.stop_time_ns / 1000,
+        incr_stop_us=im.stop_time_ns / 1000,
+        pages_full=fm.pages_captured,
+        pages_incr=im.pages_captured,
+    )
+
+    # --- shape assertions -------------------------------------------------
+    # Metadata copy ~equal between full and incremental (within 25%).
+    assert 0.75 < im.metadata_copy_ns / fm.metadata_copy_ns <= 1.0
+    # Incremental lazy copy ~7x cheaper (paper: 7.24x).
+    ratio = fm.data_copy_ns / im.data_copy_ns
+    assert 5.0 < ratio < 10.0, f"full/incr data-copy ratio {ratio:.1f}"
+    # Incremental total stop time below 1 ms.
+    assert im.stop_time_ns < 1 * MSEC
+    # Within 10% of the paper's absolute numbers (calibrated model).
+    for ours, paper_us in (
+        (fm.metadata_copy_ns, PAPER["full"]["meta"]),
+        (fm.data_copy_ns, PAPER["full"]["data"]),
+        (fm.stop_time_ns, PAPER["full"]["stop"]),
+        (im.metadata_copy_ns, PAPER["incr"]["meta"]),
+        (im.data_copy_ns, PAPER["incr"]["data"]),
+        (im.stop_time_ns, PAPER["incr"]["stop"]),
+    ):
+        assert abs(ours / 1000 - paper_us) / paper_us < 0.10
+
+
+def test_table3_redis_never_waits_for_storage(redis_world):
+    """'In neither case does Redis stop to wait for the data to reach
+    storage, due to Aurora's external consistency semantics.'"""
+    full, incr = redis_world.ensure_images()
+    for image in (full, incr):
+        assert image.metrics.flush_lag_ns > 0, "flush happened in-barrier?"
+        assert image.metrics.stop_time_ns < image.metrics.flush_lag_ns

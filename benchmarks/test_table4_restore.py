@@ -1,0 +1,125 @@
+"""Table 4 — restore-time breakdown.
+
+Paper (Aurora on Optane 900P):
+
+    Restore            Redis       Serverless  Serverless
+    Backend            Memory      Memory      Disk
+    Object Store Read  N/A         N/A         322.7 us
+    Memory state       494.4 us    144.6 us    122.6 us
+    Metadata state     261.1 us    240.4 us    206.9 us
+    Total latency      755.5 us    454.4 us    652.2 us
+
+Expected shape: every restore well under 1 ms; Redis memory-state
+~2/3 of its total ("two thirds of which are spent recreating the
+address space"); zero pages copied for memory restores; disk restores
+pay an object-store read but slightly *cheaper* metadata/memory rows
+(reading the checkpoint implicitly restores some state).
+
+(Note: the paper's serverless/memory total of 454.4 µs exceeds the sum
+of its rows, 385.0 µs; we report the sum — see EXPERIMENTS.md.)
+"""
+
+from conftest import report
+
+from repro.units import MSEC, fmt_time
+
+PAPER = {
+    "redis_mem": {"read": None, "mem": 494.4, "meta": 261.1, "total": 755.5},
+    "srv_mem": {"read": None, "mem": 144.6, "meta": 240.4, "total": 454.4},
+    "srv_disk": {"read": 322.7, "mem": 122.6, "meta": 206.9, "total": 652.2},
+}
+
+
+def test_table4_restore_breakdown(benchmark, redis_world, hello_world):
+    redis_world.ensure_images()
+
+    def run():
+        _, redis_mem = redis_world.sls.restore(
+            redis_world.incr_image, backend_name="memory",
+            new_instance=True, name_suffix="-t4",
+        )
+        _, srv_mem = hello_world.sls.restore(
+            hello_world.image, backend_name="memory",
+            new_instance=True, name_suffix="-t4m",
+        )
+        _, srv_disk = hello_world.sls.restore(
+            hello_world.image, backend_name="disk0",
+            new_instance=True, name_suffix="-t4d",
+        )
+        return redis_mem, srv_mem, srv_disk
+
+    redis_mem, srv_mem, srv_disk = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def cell(ns):
+        return fmt_time(ns) if ns else "N/A"
+
+    rows = [
+        ["Object Store Read", cell(redis_mem.objstore_read_ns),
+         cell(srv_mem.objstore_read_ns), cell(srv_disk.objstore_read_ns),
+         f"{PAPER['srv_disk']['read']} us"],
+        ["Memory state", fmt_time(redis_mem.memory_ns),
+         fmt_time(srv_mem.memory_ns), fmt_time(srv_disk.memory_ns),
+         f"{PAPER['srv_disk']['mem']} us"],
+        ["Metadata state", fmt_time(redis_mem.metadata_ns),
+         fmt_time(srv_mem.metadata_ns), fmt_time(srv_disk.metadata_ns),
+         f"{PAPER['srv_disk']['meta']} us"],
+        ["Total latency", fmt_time(redis_mem.total_ns),
+         fmt_time(srv_mem.total_ns), fmt_time(srv_disk.total_ns),
+         f"{PAPER['srv_disk']['total']} us"],
+    ]
+    report(
+        "table4",
+        "Table 4: restore time (Redis/memory, serverless/memory,"
+        " serverless/disk); paper column = serverless/disk",
+        ["Restore", "Redis Mem", "Srvless Mem", "Srvless Disk",
+         "Paper (srv/disk)"],
+        rows,
+    )
+    benchmark.extra_info.update(
+        redis_mem_total_us=redis_mem.total_ns / 1000,
+        srv_mem_total_us=srv_mem.total_ns / 1000,
+        srv_disk_total_us=srv_disk.total_ns / 1000,
+    )
+
+    # --- shape assertions ------------------------------------------------------
+    # All restores are sub-millisecond.
+    for metrics in (redis_mem, srv_mem, srv_disk):
+        assert metrics.total_ns < 1 * MSEC
+    # Memory restores never touch the store.
+    assert redis_mem.objstore_read_ns == 0
+    assert srv_mem.objstore_read_ns == 0
+    # Redis: ~2/3 of the restore recreates the address space.
+    frac = redis_mem.memory_ns / redis_mem.total_ns
+    assert 0.55 < frac < 0.75, f"memory-state fraction {frac:.2f}"
+    # Disk restore pays an object-store read...
+    assert srv_disk.objstore_read_ns > 100_000
+    # ...but its metadata and memory rows are *cheaper* than from
+    # memory (implicit restore during the read).
+    assert srv_disk.metadata_ns < srv_mem.metadata_ns
+    assert srv_disk.memory_ns < srv_mem.memory_ns
+    # Absolute values within 15% of the paper.
+    checks = [
+        (redis_mem.memory_ns, PAPER["redis_mem"]["mem"]),
+        (redis_mem.metadata_ns, PAPER["redis_mem"]["meta"]),
+        (srv_mem.memory_ns, PAPER["srv_mem"]["mem"]),
+        (srv_mem.metadata_ns, PAPER["srv_mem"]["meta"]),
+        (srv_disk.objstore_read_ns, PAPER["srv_disk"]["read"]),
+        (srv_disk.memory_ns, PAPER["srv_disk"]["mem"]),
+        (srv_disk.metadata_ns, PAPER["srv_disk"]["meta"]),
+        (srv_disk.total_ns, PAPER["srv_disk"]["total"]),
+    ]
+    for ours_ns, paper_us in checks:
+        delta = abs(ours_ns / 1000 - paper_us) / paper_us
+        assert delta < 0.15, f"{ours_ns/1000:.1f}us vs paper {paper_us}us"
+
+
+def test_table4_memory_restore_copies_nothing(redis_world):
+    """'No memory is copied, since Aurora uses COW semantics to share
+    pages between the image and the running application.'"""
+    redis_world.ensure_images()
+    allocs_before = redis_world.kernel.phys.total_allocations
+    redis_world.sls.restore(
+        redis_world.incr_image, backend_name="memory",
+        new_instance=True, name_suffix="-nocopy",
+    )
+    assert redis_world.kernel.phys.total_allocations == allocs_before

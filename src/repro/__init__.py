@@ -1,0 +1,105 @@
+"""Aurora single level store — a full Python reproduction.
+
+Reproduces "The Aurora Operating System: Revisiting the Single Level
+Store" (Tsalapatis, Hancock, Barnes, Mashtizadeh — HotOS '21) on a
+simulated kernel substrate: a Mach-style VM subsystem with Aurora's
+shared-page checkpoint COW, the POSIX kernel object model, a COW
+object store with dedup and in-place GC, the SLSFS file system, and
+the SLS orchestrator with full/incremental checkpoints, lazy restores,
+external consistency, rollback, and live migration.
+
+Quick start::
+
+    from repro import Kernel, SLS, Syscalls, make_disk_backend, NvmeDevice
+
+    kernel = Kernel()
+    sls = SLS(kernel)
+    proc = kernel.spawn("myapp")
+    sys = Syscalls(kernel, proc)
+    heap = sys.mmap(1 << 20, name="heap")
+    sys.poke(heap.start, b"precious state")
+
+    group = sls.persist(proc, name="myapp")
+    group.attach(make_disk_backend(kernel, NvmeDevice(kernel.clock)))
+    image = sls.checkpoint(group)          # sub-millisecond stop time
+    sls.barrier(group)                     # durable on NVMe
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table.
+"""
+
+from repro.core import (
+    SLS,
+    AuroraApi,
+    CheckpointImage,
+    CheckpointMetrics,
+    DiskBackend,
+    MemoryBackend,
+    MigrationReceiver,
+    NvdimmBackend,
+    PersistenceGroup,
+    RemoteBackend,
+    RestoreMetrics,
+    live_migrate,
+    make_disk_backend,
+    rollback,
+    sls_send,
+)
+from repro.hw import (
+    DRAM,
+    NAND_SSD,
+    NVDIMM_SPEC,
+    OPTANE_900P,
+    MemoryDevice,
+    NetworkLink,
+    NvdimmDevice,
+    NvmeDevice,
+)
+from repro.objstore import ObjectStore, PersistentLog
+from repro.posix import Container, Kernel, Syscalls
+from repro.sim import SimClock
+from repro.slsfs import SlsFS
+from repro.units import GIB, KIB, MIB, MSEC, PAGE_SIZE, SEC, USEC
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "SLS",
+    "AuroraApi",
+    "CheckpointImage",
+    "CheckpointMetrics",
+    "DiskBackend",
+    "MemoryBackend",
+    "MigrationReceiver",
+    "NvdimmBackend",
+    "PersistenceGroup",
+    "RemoteBackend",
+    "RestoreMetrics",
+    "live_migrate",
+    "make_disk_backend",
+    "rollback",
+    "sls_send",
+    "DRAM",
+    "NAND_SSD",
+    "NVDIMM_SPEC",
+    "OPTANE_900P",
+    "MemoryDevice",
+    "NetworkLink",
+    "NvdimmDevice",
+    "NvmeDevice",
+    "ObjectStore",
+    "PersistentLog",
+    "Container",
+    "Kernel",
+    "Syscalls",
+    "SimClock",
+    "SlsFS",
+    "GIB",
+    "KIB",
+    "MIB",
+    "MSEC",
+    "PAGE_SIZE",
+    "SEC",
+    "USEC",
+    "__version__",
+]

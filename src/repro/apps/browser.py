@@ -1,0 +1,82 @@
+"""A multi-process, shared-memory application (the Firefox stand-in).
+
+The paper's headline compatibility claim is persisting "complex
+applications like Firefox": a parent process plus content processes
+that share memory and descriptors in arbitrary ways.  This app builds
+that topology — a chrome (parent) process, N content processes forked
+from it, a SysV shm segment they all map, and a Unix socket pair per
+child for IPC — and is used by integration tests to prove checkpoints
+preserve *sharing*, not just bytes.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import SimApp
+from repro.posix.kernel import Container, Kernel
+from repro.posix.process import Process
+from repro.posix.syscalls import Syscalls
+from repro.units import MIB, USEC
+
+
+class BrowserApp(SimApp):
+    """Chrome process + content processes sharing state."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        content_processes: int = 3,
+        container: Container = None,
+        name: str = "firefox",
+    ):
+        super().__init__(kernel, name, container=container)
+        # Shared compositor buffer: every process maps the same segment.
+        self.shm_segment = self.sys.shmget(0xF1EF, 4 * MIB)
+        self.shm_addr = self.sys.shmat(self.shm_segment)
+        self.content: list[Process] = []
+        self._ipc_fds: list[tuple[int, int]] = []  # (parent_fd, child_fd)
+        for _ in range(content_processes):
+            self._spawn_content()
+
+    def _spawn_content(self) -> Process:
+        parent_fd, child_fd = self.sys.socketpair()
+        child = self.sys.fork()
+        # In the child, close the parent end (and vice versa) the way a
+        # real browser does after forking a content process.
+        child_sys = Syscalls(self.kernel, child)
+        child_sys.close(parent_fd)
+        self.sys.close(child_fd)
+        # shmat bookkeeping was inherited via fork's address-space copy
+        # of the *shared* mapping; record the segment for the child too.
+        child.shm_attachments[self.shm_addr] = self.shm_segment
+        self.kernel.shm.note_attach(self.shm_segment)
+        self.content.append(child)
+        self._ipc_fds.append((parent_fd, child_fd))
+        return child
+
+    # -- workload ---------------------------------------------------------------
+
+    def render_frame(self, frame_no: int) -> None:
+        """Chrome writes the frame; every content process reads it."""
+        payload = b"frame:%d" % frame_no
+        self.sys.poke(self.shm_addr, payload)
+        self.compute(100 * USEC)
+        for child in self.content:
+            seen = Syscalls(self.kernel, child).peek(self.shm_addr, len(payload))
+            assert seen == payload, "shared memory diverged"
+
+    def message_child(self, index: int, data: bytes) -> bytes:
+        """Round-trip an IPC message to one content process."""
+        parent_fd, child_fd = self._ipc_fds[index]
+        child = self.content[index]
+        self.sys.write(parent_fd, data)
+        child_sys = Syscalls(self.kernel, child)
+        received = child_sys.read(child_fd, len(data))
+        child_sys.write(child_fd, b"ack:" + received)
+        return self.sys.read(parent_fd, len(data) + 4)
+
+    def content_view(self, index: int, nbytes: int = 16) -> bytes:
+        """What a content process currently sees in the shared buffer."""
+        return Syscalls(self.kernel, self.content[index]).peek(self.shm_addr, nbytes)
+
+    def all_processes(self) -> list[Process]:
+        return list(self.proc.walk_tree())

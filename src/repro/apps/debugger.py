@@ -1,0 +1,126 @@
+"""Time-travel debugging over checkpoint history (paper §4).
+
+"Aurora creates periodic checkpoints of a running application that can
+later be inspected with a debugger or executed. We can use this to
+build a type of time travel debugger or, since new incremental
+checkpoints leave old ones intact, to bisect the history to find
+violations of invariants.  Repeatedly restoring from the same image
+can uncover nondeterministic failures."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.checkpoint import CheckpointImage
+from repro.core.group import PersistenceGroup
+from repro.core.orchestrator import SLS
+from repro.errors import SlsError
+from repro.posix.process import Process
+from repro.posix.syscalls import Syscalls
+
+
+@dataclass
+class InspectionSession:
+    """A restored clone of a historical checkpoint, ready to inspect."""
+
+    image: CheckpointImage
+    procs: list[Process]
+    sls: SLS
+
+    def syscalls(self, index: int = 0) -> Syscalls:
+        return Syscalls(self.sls.kernel, self.procs[index])
+
+    def read_memory(self, addr: int, nbytes: int) -> bytes:
+        return self.procs[0].aspace.read(addr, nbytes)
+
+    def close(self) -> None:
+        kernel = self.sls.kernel
+        for proc in sorted(self.procs, key=lambda p: p.pid, reverse=True):
+            if proc.is_alive():
+                kernel.exit(proc)
+                kernel.reap(proc)
+
+
+class TimeTravelDebugger:
+    """Inspect, replay, and bisect a group's checkpoint history."""
+
+    def __init__(self, sls: SLS, group: PersistenceGroup):
+        self.sls = sls
+        self.group = group
+        self._session_seq = 0
+
+    def history(self) -> list[CheckpointImage]:
+        """Oldest-to-newest retained checkpoints."""
+        return list(self.group.images)
+
+    def inspect(self, index: int) -> InspectionSession:
+        """Restore checkpoint ``index`` as a throwaway clone.
+
+        The live application keeps running; the clone gets fresh PIDs
+        and shares image pages COW, so inspection is cheap.
+        """
+        images = self.history()
+        if not -len(images) <= index < len(images):
+            raise SlsError(f"no checkpoint at index {index}")
+        image = images[index]
+        self._session_seq += 1
+        procs, _metrics = self.sls.restore(
+            image,
+            new_instance=True,
+            name_suffix=f"-ttd{self._session_seq}",
+        )
+        return InspectionSession(image=image, procs=procs, sls=self.sls)
+
+    def bisect(
+        self, invariant: Callable[[InspectionSession], bool]
+    ) -> Optional[CheckpointImage]:
+        """First checkpoint where ``invariant`` fails (binary search).
+
+        Requires the invariant to hold at history[0] and be monotonic
+        (once broken, stays broken) — the classic bisect contract.
+        Returns None if it never fails.
+        """
+        images = self.history()
+        if not images:
+            return None
+
+        def holds(i: int) -> bool:
+            session = self.inspect(i)
+            try:
+                return invariant(session)
+            finally:
+                session.close()
+
+        lo, hi = 0, len(images) - 1
+        if holds(hi):
+            return None
+        if not holds(lo):
+            return images[lo]
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if holds(mid):
+                lo = mid
+            else:
+                hi = mid
+        return images[hi]
+
+    def shake(self, index: int, attempts: int,
+              probe: Callable[[InspectionSession], bool]) -> int:
+        """Repeatedly restore one image hunting a nondeterministic bug.
+
+        Returns how many of ``attempts`` reproduced (probe returned
+        True).  "Repeatedly restoring from the same image can uncover
+        nondeterministic failures that do not manifest on every
+        execution.  We regularly used this while developing Aurora."
+        """
+        reproduced = 0
+        for _ in range(attempts):
+            session = self.inspect(index)
+            try:
+                if probe(session):
+                    reproduced += 1
+            finally:
+                session.close()
+        return reproduced

@@ -1,0 +1,209 @@
+"""A Redis-like in-memory key-value server.
+
+The paper's heavyweight evaluation workload: 2 GiB of working set,
+checkpointed full and incrementally (Table 3), restored from memory
+(Table 4), and — in §4 — *ported* to Aurora: "we use Aurora's
+persistent log (sls_ntflush), manual checkpoints (sls_checkpoint) and
+barriers (sls_barrier) to replace existing persistence mechanisms in
+... Redis that uses fork for checkpoints with a write ahead log.  In
+the case of Redis our initial port is already faster with less code."
+
+Two persistence engines are provided over the same server:
+
+- :class:`ClassicPersistence` — upstream Redis's scheme: an append-only
+  file fsync'd per command batch, plus fork-based background saves
+  (BGSAVE) that serialize the whole heap;
+- :class:`AuroraPersistence` — the port: ``sls_ntflush`` for the
+  command log, ``sls_checkpoint`` + ``sls_barrier`` for snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.base import SimApp
+from repro.errors import SlsError
+from repro.hw.device import StorageDevice
+from repro.posix.kernel import Container, Kernel
+from repro.posix.syscalls import Syscalls
+from repro.units import GIB, PAGE_SIZE, USEC
+
+
+class RedisLikeServer(SimApp):
+    """The server: one key per heap page for precise dirty control."""
+
+    #: CPU cost of executing one command (hash, dict walk, reply)
+    COMMAND_COMPUTE_NS = 2 * USEC
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        working_set: int = 2 * GIB,
+        container: Optional[Container] = None,
+        name: str = "redis-server",
+    ):
+        super().__init__(kernel, name, container=container)
+        self.working_set = working_set
+        self.nslots = working_set // PAGE_SIZE
+        self._heap = self.sys.mmap(working_set, name="redis-heap")
+        self._listener_fd: Optional[int] = None
+        self._client_fds: list[int] = []
+        self.commands_executed = 0
+
+    # -- dataset -----------------------------------------------------------
+
+    def load_dataset(self) -> int:
+        """Fill every slot with distinct content (no free dedup wins)."""
+        return self.sys.populate(
+            self._heap.start,
+            self.working_set,
+            fill_fn=lambda i: b"key:%d:val" % i,
+        )
+
+    def slot_addr(self, slot: int) -> int:
+        if not 0 <= slot < self.nslots:
+            raise IndexError(f"slot {slot} out of range")
+        return self._heap.start + slot * PAGE_SIZE
+
+    # -- command surface ------------------------------------------------------
+
+    def set(self, slot: int, value: bytes) -> None:
+        self.sys.poke(self.slot_addr(slot), value[: PAGE_SIZE // 2])
+        self.compute(self.COMMAND_COMPUTE_NS)
+        self.commands_executed += 1
+
+    def get(self, slot: int, nbytes: int = 64) -> bytes:
+        data = self.sys.peek(self.slot_addr(slot), nbytes)
+        self.compute(self.COMMAND_COMPUTE_NS)
+        self.commands_executed += 1
+        return data
+
+    def dirty_fraction(self, fraction: float, stride_tag: bytes = b"v2") -> int:
+        """Overwrite ``fraction`` of the slots (checkpoint-interval load)."""
+        count = int(self.nslots * fraction)
+        for slot in range(count):
+            self.sys.poke(self.slot_addr(slot), b"key:%d:%s" % (slot, stride_tag))
+        self.commands_executed += count
+        self.compute(count * self.COMMAND_COMPUTE_NS)
+        return count
+
+    # -- clients -----------------------------------------------------------------
+
+    def listen(self, name: str = "redis.sock") -> None:
+        self._listener_fd = self.sys.bind_listen(name)
+        self._sock_name = name
+
+    def accept_clients(self, count: int) -> list[SimApp]:
+        """Spawn ``count`` external client processes and accept them.
+
+        Clients are children of init (outside any persistence group of
+        the server) — their connections cross the group boundary,
+        which is what external consistency guards.
+        """
+        if self._listener_fd is None:
+            self.listen()
+        clients = []
+        for i in range(count):
+            client = SimApp(self.kernel, f"redis-cli-{i}", boot=False)
+            client_fd = client.sys.connect(self._sock_name)
+            client._redis_fd = client_fd
+            server_fd = self.sys.accept(self._listener_fd)
+            self._client_fds.append(server_fd)
+            clients.append(client)
+        return clients
+
+    def reply(self, client_index: int, data: bytes) -> int:
+        return self.sys.write(self._client_fds[client_index], data)
+
+
+class ClassicPersistence:
+    """Upstream Redis persistence: AOF + fork-based BGSAVE.
+
+    The AOF is modelled as a file on a conventional filesystem backed
+    by ``device``: each committed batch pays a data write plus journal
+    ordering overhead (two device round trips), the cost LevelDB/
+    PostgreSQL-style fsync bugs come from working around.
+    """
+
+    #: filesystem journal/metadata ops per fsync (journaled FFS/ext4)
+    FSYNC_EXTRA_IOS = 2
+    #: serializing one page into RDB format
+    RDB_SERIALIZE_NS = 500
+
+    def __init__(self, server: RedisLikeServer, device: StorageDevice):
+        self.server = server
+        self.device = device
+        self._aof_head = 0
+        self.aof_bytes = 0
+        self.bgsaves = 0
+
+    def append_and_fsync(self, record: bytes) -> int:
+        """AOF append + fsync; returns ns of commit latency."""
+        clock = self.device.clock
+        start = clock.now
+        self.device.write(self._aof_head, record)
+        for _ in range(self.FSYNC_EXTRA_IOS):
+            self.device.write(self._aof_head + len(record), b"\x00" * 512)
+        self._aof_head += len(record) + 1024
+        self.aof_bytes += len(record)
+        return clock.now - start
+
+    def bgsave(self) -> int:
+        """Fork-based snapshot; returns the *parent-visible* stall ns.
+
+        The fork itself write-protects every private page (the stall);
+        the child then serializes the heap and writes the RDB file.
+        COW faults hit the parent for every page it touches afterwards
+        — the hidden cost Aurora's shared-page COW avoids.
+        """
+        kernel = self.server.kernel
+        clock = kernel.clock
+        start = clock.now
+        child = kernel.fork(self.server.proc)  # charges per-page COW arming
+        fork_stall = clock.now - start
+        # Child work happens off the parent's critical path; charge it
+        # to the clock (single simulated CPU) but report only the stall.
+        heap = self.server.working_set
+        npages = heap // PAGE_SIZE
+        kernel.mem.charge(npages * self.RDB_SERIALIZE_NS)
+        self.device.write_async(64 * 1024 * 1024, b"RDB", logical_nbytes=heap)
+        kernel.exit(child)
+        kernel.reap(child)
+        self.bgsaves += 1
+        return fork_stall
+
+
+class AuroraPersistence:
+    """The Aurora port: ntflush log + checkpoints + barriers."""
+
+    def __init__(self, server: RedisLikeServer):
+        if server.api is None:
+            raise SlsError("attach_api(sls) before creating the Aurora port")
+        self.server = server
+        self.api = server.api
+        self.log_records = 0
+
+    def append_and_commit(self, record: bytes) -> int:
+        """Replace AOF-fsync with one ``sls_ntflush`` append."""
+        clock = self.server.kernel.clock
+        start = clock.now
+        self.api.sls_ntflush(record, sync=True)
+        self.log_records += 1
+        return clock.now - start
+
+    def save(self, name: Optional[str] = None) -> int:
+        """Replace BGSAVE with a checkpoint; returns stop-time ns."""
+        image = self.api.sls_checkpoint(name=name)
+        # The checkpoint supersedes the log.
+        if self.log_records:
+            self.api.sls_log_truncate(self.log_records + 1)
+        return image.metrics.stop_time_ns
+
+    def wait_durable(self) -> int:
+        return self.api.sls_barrier()
+
+    def recover_replay(self) -> list[bytes]:
+        """Post-restore repair: replay log records newer than the
+        checkpoint ("applications require custom code during restore
+        to repair data structures based on the log")."""
+        return [payload for _seq, payload in self.api.sls_log_replay()]

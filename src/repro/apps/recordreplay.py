@@ -1,0 +1,88 @@
+"""Record/replay bounded by checkpoints (paper §4).
+
+"Aurora integrates with record/replay systems to bound record log size
+by only keeping the records since the last checkpoint.  On a failure,
+the application is rolled back to this checkpoint and replays the
+remaining log.  Developers can thus witness the last seconds before a
+crash on a production machine with a very small disk and CPU overhead
+compared to standalone RR."
+
+The recorder captures nondeterministic inputs (here: messages the app
+consumes); each checkpoint truncates the log.  Crash recovery =
+restore last checkpoint + deterministic replay of the tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.group import PersistenceGroup
+from repro.core.orchestrator import SLS
+from repro.posix.process import Process
+
+
+@dataclass
+class RecordedInput:
+    seq: int
+    payload: bytes
+
+
+@dataclass
+class RrStats:
+    inputs_recorded: int = 0
+    log_truncations: int = 0
+    max_log_len: int = 0
+    replays: int = 0
+
+
+class CheckpointedRecorder:
+    """Records inputs; checkpoints bound the log."""
+
+    def __init__(
+        self,
+        sls: SLS,
+        group: PersistenceGroup,
+        apply_input: Callable[[list[Process], bytes], None],
+    ):
+        self.sls = sls
+        self.group = group
+        #: deterministic input application (the "replay" semantics)
+        self.apply_input = apply_input
+        self.log: list[RecordedInput] = []
+        self._seq = 0
+        self.stats = RrStats()
+
+    def feed(self, payload: bytes) -> None:
+        """Record an input, then apply it to the live application."""
+        self._seq += 1
+        self.log.append(RecordedInput(seq=self._seq, payload=payload))
+        self.stats.inputs_recorded += 1
+        self.stats.max_log_len = max(self.stats.max_log_len, len(self.log))
+        self.apply_input(self.group.processes(), payload)
+
+    def checkpoint(self) -> int:
+        """Checkpoint the group and truncate the log; returns log drop."""
+        self.sls.checkpoint(self.group)
+        dropped = len(self.log)
+        self.log.clear()
+        self.stats.log_truncations += 1
+        return dropped
+
+    def recover(self) -> list[Process]:
+        """Crash recovery: roll back, then replay the recorded tail.
+
+        The rolled-back application re-consumes exactly the inputs
+        recorded since the covering checkpoint, arriving at the
+        pre-crash state deterministically.
+        """
+        from repro.core.rollback import rollback
+
+        procs, _metrics = rollback(self.sls, self.group, notify=False)
+        for record in self.log:
+            self.apply_input(procs, record.payload)
+        self.stats.replays += 1
+        return procs
+
+    def log_bytes(self) -> int:
+        return sum(len(r.payload) for r in self.log)

@@ -1,0 +1,87 @@
+"""Application-level speculation via rollback (paper §4).
+
+"Aurora's rollback primitive allows apps to implement speculative
+execution for increased performance.  For example, a client sending
+data to a server can execute assuming that the server received it,
+saving a round trip's worth of time.  If the transfer ends up failing,
+the client rolls back to before it sent the data.  Aurora notifies the
+client of the rollback, allowing it to try a more conservative code
+path."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import SimApp
+from repro.core.group import PersistenceGroup
+from repro.core.orchestrator import SLS
+from repro.core.rollback import ROLLBACK_SIGNAL, rollback
+from repro.errors import SlsError
+from repro.posix.kernel import Kernel
+from repro.posix.syscalls import Syscalls
+from repro.units import KIB, USEC
+
+
+@dataclass
+class SpecStats:
+    speculative_sends: int = 0
+    commits: int = 0
+    rollbacks: int = 0
+    time_saved_ns: int = 0
+
+
+class SpeculativeClient(SimApp):
+    """A client that speculates past transfer acknowledgements."""
+
+    #: modelled round-trip the speculation saves on the happy path
+    RTT_NS = 200 * USEC
+
+    def __init__(self, kernel: Kernel, sls: SLS, name: str = "spec-client"):
+        super().__init__(kernel, name)
+        self.sls = sls
+        self.group: PersistenceGroup | None = None
+        self.stats = SpecStats()
+        self._state = self.sys.mmap(64 * KIB, name="spec-state")
+        self.sys.populate(self._state.start, 64 * KIB, fill=b"idle")
+        self.sys.sigaction(ROLLBACK_SIGNAL, "on_rollback")
+
+    def persist(self, backend) -> PersistenceGroup:
+        self.group = self.sls.persist(self.proc, name=self.proc.name)
+        self.group.attach(backend)
+        return self.group
+
+    # -- the speculative protocol ------------------------------------------------
+
+    def speculative_send(self, data: bytes) -> None:
+        """Checkpoint, send optimistically, continue as if ACKed."""
+        if self.group is None:
+            raise SlsError("persist() before speculating")
+        self.sls.checkpoint(self.group, name="spec-point")
+        self.sys.poke(self._state.start, b"sent:" + data[:59])
+        self.stats.speculative_sends += 1
+        # Proceed immediately — the round trip happens in the shadow.
+        self.compute(10 * USEC)
+
+    def outcome(self, acked: bool) -> list:
+        """The shadow round-trip resolves: commit or roll back."""
+        if self.group is None:
+            raise SlsError("persist() before speculating")
+        if acked:
+            self.stats.commits += 1
+            self.stats.time_saved_ns += self.RTT_NS
+            self.sys.poke(self._state.start, b"done\x00")
+            return [self.proc]
+        # Failure: roll back to the spec-point; the restored process is
+        # notified so it can take the conservative path.
+        procs, _metrics = rollback(self.sls, self.group)
+        self.proc = procs[0]
+        self.sys = Syscalls(self.kernel, self.proc)
+        self.stats.rollbacks += 1
+        return procs
+
+    def state(self) -> bytes:
+        return self.sys.peek(self._state.start, 5)
+
+    def saw_rollback_signal(self) -> bool:
+        return ROLLBACK_SIGNAL in self.proc.signals.pending

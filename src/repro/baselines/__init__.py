@@ -1,0 +1,15 @@
+"""Comparison baselines the paper positions Aurora against."""
+
+from repro.baselines.criu import (
+    PROBE_NS_PER_OBJECT,
+    SEIZE_NS_PER_PROC,
+    CriuCheckpointer,
+    CriuMetrics,
+)
+
+__all__ = [
+    "PROBE_NS_PER_OBJECT",
+    "SEIZE_NS_PER_PROC",
+    "CriuCheckpointer",
+    "CriuMetrics",
+]

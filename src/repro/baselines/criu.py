@@ -1,0 +1,105 @@
+"""A CRIU-style checkpointer — the comparison baseline (paper §2).
+
+"Systems like CRIU, the standard for Linux container migration, piece
+together application state by querying the kernel through system calls
+and the proc file system.  While CRIU's performance is tolerable for
+migration, its overheads are prohibitive for other applications
+including transparent persistence."
+
+Faithful to that design, this baseline:
+
+- scrapes state through the *syscall boundary* (a per-object probing
+  cost far above Aurora's in-kernel serializers),
+- copies every resident page while the application is stopped — no
+  COW, no incremental tracking, no background flush,
+- writes the dump synchronously before resuming (the default
+  stop-dump-resume mode).
+
+The stop time is therefore proportional to the working set, which is
+exactly why it cannot run at 100 Hz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.device import StorageDevice
+from repro.objstore.record import encode
+from repro.posix.kernel import Kernel
+from repro.posix.process import Process
+from repro.serial.procsnap import group_vm_objects, serialize_group
+from repro.units import PAGE_SIZE
+
+
+#: per-object cost of reconstructing state via ptrace//proc scraping;
+#: an order of magnitude above an in-kernel serializer.
+PROBE_NS_PER_OBJECT = 15_000.0
+#: parasite-code injection + seize/unseize per process
+SEIZE_NS_PER_PROC = 250_000.0
+
+
+@dataclass
+class CriuMetrics:
+    """Stop-time breakdown, comparable to Aurora's CheckpointMetrics."""
+
+    metadata_scrape_ns: int = 0
+    memory_copy_ns: int = 0
+    write_ns: int = 0
+    stop_time_ns: int = 0
+    pages_dumped: int = 0
+    dump_bytes: int = 0
+
+
+class CriuCheckpointer:
+    """Stop-dump-resume checkpointing at the syscall boundary."""
+
+    def __init__(self, kernel: Kernel, device: StorageDevice):
+        self.kernel = kernel
+        self.device = device
+        self._dump_offset = 0
+        self.dumps_taken = 0
+
+    def dump(self, root: Process) -> CriuMetrics:
+        """Checkpoint the tree rooted at ``root``; returns the breakdown."""
+        kernel = self.kernel
+        mem = kernel.mem
+        clock = kernel.clock
+        metrics = CriuMetrics()
+        procs = [p for p in root.walk_tree() if p.is_alive()]
+
+        start = clock.now
+        for proc in procs:
+            proc.stop_all_threads()
+            mem.charge(SEIZE_NS_PER_PROC)
+
+        # Metadata via /proc + ptrace probing.
+        with clock.region() as scrape:
+            meta, ctx = serialize_group(procs, kernel)
+            mem.charge(ctx.objects_serialized * PROBE_NS_PER_OBJECT)
+        metrics.metadata_scrape_ns = scrape.elapsed
+
+        # Memory: copy out every resident page, stopped, no COW.
+        objects = group_vm_objects(procs)
+        payloads = []
+        with clock.region() as copy_region:
+            for obj in objects:
+                for pindex, page in obj.iter_resident():
+                    payloads.append([obj.oid, pindex, page.snapshot_payload()])
+                    mem.charge(mem.cpu.page_copy_ns)
+        metrics.memory_copy_ns = copy_region.elapsed
+        metrics.pages_dumped = len(payloads)
+
+        # Synchronous dump write before resuming.
+        blob = encode({"meta": meta, "pages": payloads})
+        logical = len(payloads) * PAGE_SIZE + 256 * 1024
+        with clock.region() as write_region:
+            self.device.write(self._dump_offset, blob, logical_nbytes=logical)
+        metrics.write_ns = write_region.elapsed
+        metrics.dump_bytes = logical
+        self._dump_offset += max(len(blob), logical)
+
+        for proc in procs:
+            proc.resume_all_threads()
+        metrics.stop_time_ns = clock.now - start
+        self.dumps_taken += 1
+        return metrics

@@ -1,0 +1,6 @@
+"""The ``sls`` command line interface."""
+
+from repro.cli.main import main
+from repro.cli.session import SlsSession
+
+__all__ = ["main", "SlsSession"]

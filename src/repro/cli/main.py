@@ -1,0 +1,106 @@
+"""The ``sls`` command-line interface (Table 1 of the paper).
+
+=================  ===============================================
+``sls persist``     Add an application to a persistence group
+``sls attach``      Attach a persistence group to a backend
+``sls detach``      Detach a persistence group from a backend
+``sls checkpoint``  Checkpoint an application
+``sls restore``     Restore an application from an image
+``sls ps``          List applications in Aurora
+``sls send``        Send an application to a remote
+``sls recv``        Receive an application from a remote
+=================  ===============================================
+
+Because the kernel here is simulated, commands run inside a *session*
+(one booted machine + a remote peer).  Three entry modes:
+
+- ``sls demo`` — a canned scenario exercising every Table 1 command;
+- ``sls script FILE`` — run commands from a file (``-`` for stdin);
+- ``sls shell`` — interactive prompt.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.session import SlsSession
+from repro.errors import AuroraError
+
+DEMO_SCRIPT = """\
+# Boot demo applications and exercise all eight Table 1 commands.
+launch redis0
+launch hello0
+persist redis0
+persist hello0
+attach redis0 nvme0
+attach redis0 mem0
+attach hello0 nvme0
+checkpoint redis0
+checkpoint redis0
+checkpoint hello0
+ps
+restore redis0
+send hello0
+recv hello0
+detach redis0 mem0
+ps
+"""
+
+
+def run_lines(session: SlsSession, lines, echo: bool = True) -> int:
+    failures = 0
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if echo:
+            print(f"sls> {line}")
+        try:
+            output = session.execute(line)
+        except AuroraError as exc:
+            failures += 1
+            print(f"error: {exc}", file=sys.stderr)
+            continue
+        if output:
+            print(output)
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sls",
+        description="Aurora single level store CLI (simulated machine)",
+    )
+    sub = parser.add_subparsers(dest="mode")
+    sub.add_parser("demo", help="run the canned end-to-end demo")
+    script = sub.add_parser("script", help="run commands from a file")
+    script.add_argument("file", help="command file, or - for stdin")
+    sub.add_parser("shell", help="interactive prompt")
+    args = parser.parse_args(argv)
+
+    session = SlsSession()
+    if args.mode in (None, "demo"):
+        return 1 if run_lines(session, DEMO_SCRIPT.splitlines()) else 0
+    if args.mode == "script":
+        if args.file == "-":
+            lines = sys.stdin.read().splitlines()
+        else:
+            with open(args.file) as handle:
+                lines = handle.read().splitlines()
+        return 1 if run_lines(session, lines) else 0
+    if args.mode == "shell":
+        print("aurora sls shell — commands: launch persist attach detach"
+              " checkpoint restore ps send recv (ctrl-d to exit)")
+        while True:
+            try:
+                line = input("sls> ")
+            except EOFError:
+                print()
+                return 0
+            run_lines(session, [line], echo=False)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

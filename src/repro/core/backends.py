@@ -1,0 +1,246 @@
+"""Persistence-group backends.
+
+"Applications are placed into a persistence group attached to one or
+more backing devices" (paper §3): NVMe flash or NVDIMM for local
+persistence, a network backend for remote persistence, and a local
+memory backend for ephemeral checkpoints (debugging/speculation).
+Multiple backends can be attached at once — e.g. local disk *and* a
+remote replica.
+
+Each backend knows how to persist one checkpoint image and how durable
+it is: disk-like backends flush asynchronously and report durability
+through the event queue; the memory backend is "durable" immediately
+(and lost on crash); the remote backend is durable when the image
+arrives at the peer.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.core.checkpoint import CheckpointImage
+from repro.errors import BackendError
+from repro.hw.device import StorageDevice
+from repro.hw.netdev import NetworkEndpoint
+from repro.mem.cow import FreezeSet
+from repro.mem.page import Page
+from repro.objstore.record import encode
+from repro.objstore.store import ObjectStore, PageRef
+from repro.posix.kernel import Kernel
+from repro.serial.memsnap import (
+    capture_pages_to_memory,
+    capture_pages_to_store,
+    capture_swapped_to_store,
+)
+
+
+class Backend(abc.ABC):
+    """One persistence target for a group."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.kernel: Optional[Kernel] = None
+
+    def bind(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+
+    @abc.abstractmethod
+    def persist(self, image: CheckpointImage, freeze_set: FreezeSet,
+                parent: Optional[CheckpointImage]) -> None:
+        """Capture the image's data on this backend (async flush)."""
+
+    @property
+    def holds_frames(self) -> bool:
+        """Whether images on this backend keep frozen frames alive."""
+        return False
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class StoreBackend(Backend):
+    """Shared logic for object-store backends (NVMe / NAND / NVDIMM)."""
+
+    kind = "disk"
+
+    def __init__(self, name: str, store: ObjectStore):
+        super().__init__(name)
+        self.store = store
+
+    def persist(self, image, freeze_set, parent):
+        assert self.kernel is not None, "backend not bound to a kernel"
+        base_map = parent.page_refs.get(self.name) if parent else None
+        page_map, all_refs = capture_pages_to_store(
+            freeze_set, self.store, base_map=base_map
+        )
+        # Swapped-out pages join the checkpoint without faulting in
+        # ("when pages are swapped out due to memory pressure they are
+        # incorporated into the subsequent checkpoint").
+        if self.kernel._swap is not None:
+            extra = capture_swapped_to_store(
+                freeze_set.objects, self.store, self.kernel.swap, page_map,
+                force=freeze_set.swapped_dirty,
+            )
+            all_refs.extend(extra)
+        # The on-disk metadata record carries the kernel-object graph
+        # plus this checkpoint's pagemap *delta*: which (object, page
+        # index) slots the captured hashes belong to.  A post-reboot
+        # restore rebuilds the full page map by overlaying the deltas
+        # along the snapshot lineage (see restore.load_image_from_store).
+        base = parent.page_refs.get(self.name, {}) if parent else {}
+        delta: dict[int, list] = {}
+        for oid, pages in page_map.items():
+            base_pages = base.get(oid, {})
+            for pindex, ref in pages.items():
+                old = base_pages.get(pindex)
+                if old is None or old.content_hash != ref.content_hash:
+                    delta.setdefault(oid, []).append([pindex, ref.content_hash])
+        meta_ref = self.store.write_meta(
+            oid=image.image_id,
+            value={"meta": image.meta, "pagemap_delta": delta},
+            epoch=image.epoch,
+        )
+        parent_snap = parent.snapshots.get(self.name) if parent else None
+        snapshot = self.store.commit_snapshot(
+            name=image.name,
+            meta={
+                "group": image.group_name,
+                "incremental": image.incremental,
+                "parent_snap": parent_snap.snap_id if parent_snap else None,
+            },
+            records=[meta_ref],
+            pages=[r for r in all_refs if isinstance(r, PageRef)],
+            epoch=image.epoch,
+            parent_id=parent_snap.snap_id if parent_snap else None,
+        )
+        image.snapshots[self.name] = snapshot
+        image.page_refs[self.name] = page_map
+        image.metrics.bytes_flushed += snapshot.delta_bytes
+        # Durable once the device has drained everything just queued.
+        deadline = self.store.device.pending_deadline()
+        name = self.name
+        if deadline <= self.kernel.clock.now:
+            image.mark_durable(name, self.kernel.clock.now)
+        else:
+            self.kernel.events.schedule(
+                deadline, lambda: image.mark_durable(name, deadline)
+            )
+
+    def delete_image(self, image: CheckpointImage) -> None:
+        snapshot = image.snapshots.pop(self.name, None)
+        if snapshot is not None:
+            self.store.delete_snapshot(snapshot.snap_id)
+        image.page_refs.pop(self.name, None)
+
+
+class DiskBackend(StoreBackend):
+    """NVMe-flash-backed object store (the paper's primary backend)."""
+
+    kind = "disk"
+
+
+class NvdimmBackend(StoreBackend):
+    """NVDIMM-backed object store: same layout, lower latency."""
+
+    kind = "nvdimm"
+
+
+class MemoryBackend(Backend):
+    """Ephemeral in-memory checkpoints (debugging, speculation).
+
+    Zero-copy: the image consists of the frozen frames themselves,
+    shared COW with the still-running application.
+    """
+
+    kind = "memory"
+
+    @property
+    def holds_frames(self) -> bool:
+        return True
+
+    def persist(self, image, freeze_set, parent):
+        assert self.kernel is not None, "backend not bound to a kernel"
+        base_map = parent.memory_pages if parent else None
+        page_map, captured = capture_pages_to_memory(freeze_set, base_map=base_map)
+        phys = self.kernel.phys
+        held = set()
+        for oid, pages in page_map.items():
+            for pindex, page in pages.items():
+                assert isinstance(page, Page)
+                if (oid, pindex) not in captured:
+                    # Inherited from the parent image: take our own hold
+                    # so pruning the parent cannot free our frames.
+                    phys.hold(page)
+                held.add((oid, pindex))
+        image.memory_pages = page_map
+        image._held_frames = held
+        image.mark_durable(self.name, self.kernel.clock.now)
+
+    def delete_image(self, image: CheckpointImage) -> None:
+        assert self.kernel is not None
+        image.release_memory(self.kernel.phys)
+
+
+class RemoteBackend(Backend):
+    """Continuous replication of checkpoints to a remote host.
+
+    Every image (incremental or full) is encoded and shipped over the
+    network link; the image is durable here once it has *arrived* at
+    the peer.  The receiving side (:mod:`repro.core.remote`) applies
+    the stream into its own object store.
+    """
+
+    kind = "remote"
+
+    def __init__(self, name: str, endpoint: NetworkEndpoint, peer: str):
+        super().__init__(name)
+        self.endpoint = endpoint
+        self.peer = peer
+        self.images_sent = 0
+        self.bytes_sent = 0
+
+    def persist(self, image, freeze_set, parent):
+        assert self.kernel is not None, "backend not bound to a kernel"
+        # Ship only the delta: pages captured by this freeze, plus the
+        # metadata.  The peer overlays onto the images it already has.
+        pages_payload = [
+            [frozen.obj.oid, frozen.pindex, frozen.page.snapshot_payload()]
+            for frozen in freeze_set.pages
+        ]
+        payload = encode(
+            {
+                "kind": "checkpoint",
+                "group": image.group_name,
+                "name": image.name,
+                "epoch": image.epoch,
+                "incremental": image.incremental,
+                "meta": image.meta,
+                "pages": pages_payload,
+            }
+        )
+        message = self.endpoint.send(self.peer, payload)
+        self.images_sent += 1
+        self.bytes_sent += len(payload)
+        image.metrics.bytes_flushed += len(payload)
+        name = self.name
+        arrives = message.arrives_at
+        if arrives <= self.kernel.clock.now:
+            image.mark_durable(name, self.kernel.clock.now)
+        else:
+            self.kernel.events.schedule(
+                arrives, lambda: image.mark_durable(name, arrives)
+            )
+
+    def delete_image(self, image: CheckpointImage) -> None:
+        """Remote retention is the peer's policy; nothing local."""
+
+
+def make_disk_backend(kernel: Kernel, device: StorageDevice, name: str = "disk0") -> DiskBackend:
+    """Convenience: an object store + disk backend on ``device``."""
+    store = ObjectStore(device, mem=kernel.mem)
+    backend = DiskBackend(name, store)
+    backend.bind(kernel)
+    return backend

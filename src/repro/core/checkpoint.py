@@ -1,0 +1,135 @@
+"""Checkpoint images.
+
+A :class:`CheckpointImage` "encapsulates all information required to
+recreate the application, even across reboots and machines": the
+serialized kernel-object metadata plus, per backend, either store page
+references (disk/NVDIMM/remote) or held frozen frames (memory).
+Images chain to their parents; an incremental image's page map is the
+parent's map overlaid with the interval's dirty pages, so every image
+is *self-contained* for restore while sharing storage with history.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.metrics import CheckpointMetrics
+from repro.mem.page import Page
+from repro.objstore.snapshot import Snapshot
+from repro.objstore.store import PageRef
+from repro.units import PAGE_SIZE
+
+#: oid -> {pindex -> PageRef | Page}
+PageMap = dict[int, dict[int, object]]
+
+
+@dataclass
+class CheckpointImage:
+    """One checkpoint of one persistence group."""
+
+    name: str
+    group_name: str
+    epoch: int
+    incremental: bool
+    meta: dict
+    parent: Optional["CheckpointImage"] = None
+    metrics: CheckpointMetrics = field(default_factory=CheckpointMetrics)
+    #: backend name -> store snapshot (disk-like backends)
+    snapshots: dict[str, Snapshot] = field(default_factory=dict)
+    #: backend name -> page map of PageRefs (disk-like backends)
+    page_refs: dict[str, PageMap] = field(default_factory=dict)
+    #: memory-backend page map of held frozen frames
+    memory_pages: Optional[PageMap] = None
+    #: (oid, pindex) pairs whose frames this image holds references on
+    _held_frames: set = field(default_factory=set)
+    #: backends on which this image is durable (by name)
+    durable_on: set = field(default_factory=set)
+    #: backends whose flush failed (I/O error); image absent there
+    failed_backends: list = field(default_factory=list)
+    _on_durable: list = field(default_factory=list)
+    image_id: int = field(default_factory=itertools.count(1).__next__)
+
+    # -- durability -------------------------------------------------------
+
+    def mark_durable(self, backend_name: str, when_ns: int,
+                     expected: int | None = None) -> None:
+        """A backend finished flushing; fire callbacks once all have.
+
+        The expected-backend count is read from the metrics at fire
+        time (a backend that failed mid-flush lowers it), so a partial
+        failure cannot wedge durability tracking.
+        """
+        if self.durable:
+            return
+        self.durable_on.add(backend_name)
+        needed = self.metrics.backends_expected if expected is None else expected
+        if len(self.durable_on) >= needed:
+            self.metrics.durable_at_ns = when_ns
+            callbacks, self._on_durable = self._on_durable, []
+            for callback in callbacks:
+                callback(self)
+
+    @property
+    def durable(self) -> bool:
+        return bool(self.metrics.durable_at_ns)
+
+    def on_durable(self, callback: Callable[["CheckpointImage"], None]) -> None:
+        if self.durable:
+            callback(self)
+        else:
+            self._on_durable.append(callback)
+
+    # -- content accounting --------------------------------------------------
+
+    def resident_pages(self) -> int:
+        page_map = self.any_page_map()
+        return sum(len(pages) for pages in page_map.values()) if page_map else 0
+
+    def logical_bytes(self) -> int:
+        return self.resident_pages() * PAGE_SIZE
+
+    def any_page_map(self) -> Optional[PageMap]:
+        if self.memory_pages is not None:
+            return self.memory_pages
+        for page_map in self.page_refs.values():
+            return page_map
+        return None
+
+    def delta_pages(self) -> int:
+        """Pages newly captured by this image (vs inherited)."""
+        return self.metrics.pages_captured
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def release_memory(self, phys) -> int:
+        """Drop the memory image's frame references (image deletion)."""
+        released = 0
+        if self.memory_pages is None:
+            return 0
+        for oid, pages in self.memory_pages.items():
+            for pindex, page in pages.items():
+                if (oid, pindex) in self._held_frames:
+                    assert isinstance(page, Page)
+                    phys.release(page)
+                    released += 1
+        self.memory_pages = None
+        self._held_frames = set()
+        return released
+
+    def lineage(self) -> list["CheckpointImage"]:
+        """This image and its ancestors, newest first."""
+        out: list[CheckpointImage] = []
+        image: Optional[CheckpointImage] = self
+        while image is not None:
+            out.append(image)
+            image = image.parent
+        return out
+
+    def __repr__(self) -> str:
+        kind = "incr" if self.incremental else "full"
+        return (
+            f"<CheckpointImage {self.name!r} {kind} epoch={self.epoch}"
+            f" pages={self.resident_pages()}>"
+        )

@@ -1,0 +1,119 @@
+"""Timing breakdowns — the rows of the paper's Tables 3 and 4.
+
+Every checkpoint and restore produces one of these records; the
+benchmark harness prints them in the paper's format and
+``EXPERIMENTS.md`` compares them against the published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import fmt_time
+
+
+@dataclass
+class CheckpointMetrics:
+    """Stop-time breakdown of one checkpoint (Table 3)."""
+
+    group: str = ""
+    incremental: bool = False
+    #: serializing kernel-object metadata into memory buffers
+    metadata_copy_ns: int = 0
+    #: arming COW tracking over the captured pages ("lazy data copy")
+    data_copy_ns: int = 0
+    #: total application stop time (the two above + pause/resume)
+    stop_time_ns: int = 0
+    #: when the image became durable on every backend (virtual time)
+    durable_at_ns: int = 0
+    #: virtual time the checkpoint started
+    started_at_ns: int = 0
+    pages_captured: int = 0
+    objects_serialized: int = 0
+    bytes_flushed: int = 0
+    #: how many backends must confirm before the image is durable
+    backends_expected: int = 1
+
+    @property
+    def flush_lag_ns(self) -> int:
+        """Background-flush time after the application resumed."""
+        return max(0, self.durable_at_ns - (self.started_at_ns + self.stop_time_ns))
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("Metadata copy", fmt_time(self.metadata_copy_ns)),
+            ("Lazy data copy", fmt_time(self.data_copy_ns)),
+            ("Application stop time", fmt_time(self.stop_time_ns)),
+        ]
+
+    def __str__(self) -> str:
+        kind = "Incremental" if self.incremental else "Full"
+        lines = [f"Checkpoint ({kind})"]
+        lines += [f"  {label:<24} {value}" for label, value in self.rows()]
+        return "\n".join(lines)
+
+
+@dataclass
+class RestoreMetrics:
+    """Restore-time breakdown (Table 4)."""
+
+    group: str = ""
+    backend: str = "memory"
+    lazy: bool = False
+    #: reading the image in from the object store (disk restores only)
+    objstore_read_ns: int = 0
+    #: recreating the address space + sharing/installing page state
+    memory_ns: int = 0
+    #: recreating every other kernel object
+    metadata_ns: int = 0
+    pages_installed: int = 0
+    pages_lazy: int = 0
+    objects_restored: int = 0
+
+    @property
+    def total_ns(self) -> int:
+        return self.objstore_read_ns + self.memory_ns + self.metadata_ns
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("Object Store Read",
+             fmt_time(self.objstore_read_ns) if self.objstore_read_ns else "N/A"),
+            ("Memory state", fmt_time(self.memory_ns)),
+            ("Metadata state", fmt_time(self.metadata_ns)),
+            ("Total latency", fmt_time(self.total_ns)),
+        ]
+
+    def __str__(self) -> str:
+        lines = [f"Restore (backend={self.backend}, lazy={self.lazy})"]
+        lines += [f"  {label:<24} {value}" for label, value in self.rows()]
+        return "\n".join(lines)
+
+
+@dataclass
+class GroupStats:
+    """Running totals for one persistence group."""
+
+    checkpoints_taken: int = 0
+    full_checkpoints: int = 0
+    restores: int = 0
+    rollbacks: int = 0
+    total_stop_ns: int = 0
+    total_pages_captured: int = 0
+    total_bytes_flushed: int = 0
+    history: list[CheckpointMetrics] = field(default_factory=list)
+
+    def record(self, metrics: CheckpointMetrics, keep_history: int = 64) -> None:
+        self.checkpoints_taken += 1
+        if not metrics.incremental:
+            self.full_checkpoints += 1
+        self.total_stop_ns += metrics.stop_time_ns
+        self.total_pages_captured += metrics.pages_captured
+        self.total_bytes_flushed += metrics.bytes_flushed
+        self.history.append(metrics)
+        if len(self.history) > keep_history:
+            self.history.pop(0)
+
+    def mean_stop_ns(self) -> float:
+        if not self.checkpoints_taken:
+            return 0.0
+        return self.total_stop_ns / self.checkpoints_taken

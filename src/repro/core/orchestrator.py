@@ -1,0 +1,326 @@
+"""The SLS orchestrator (paper §3).
+
+"The SLS orchestrator maps kernel objects to the on-disk store and
+manages the checkpoint and resume operations. ... The orchestrator
+provides serialization barriers across the entire OS to provide
+consistent application-wide checkpoints.  All processes are
+momentarily paused and remaining unflushed state is copied into memory
+buffers or tracked using copy-on-write.  These updates are flushed
+asynchronously to disk."
+
+One :class:`SLS` instance runs per kernel; it owns the persistence
+groups, drives the serialization barrier (Table 3's stop time), and
+coordinates backends, external consistency, and restore/rollback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.backends import Backend
+from repro.core.checkpoint import CheckpointImage
+from repro.core.extcons import ExternalConsistency
+from repro.core.group import DEFAULT_PERIOD_NS, PersistenceGroup
+from repro.core.metrics import CheckpointMetrics
+from repro.core.restore import RestoreEngine
+from repro.errors import (
+    BackendError,
+    CheckpointError,
+    HardwareError,
+    NotPersisted,
+    ObjectStoreError,
+)
+from repro.mem.vmobject import VMObject
+from repro.posix.kernel import Container, Kernel
+from repro.posix.process import Process
+from repro.serial.procsnap import group_vm_objects, serialize_group
+
+
+class SLS:
+    """The single-level-store service of one kernel."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        kernel.sls = self
+        self.groups: dict[int, PersistenceGroup] = {}
+        self.restore_engine = RestoreEngine(self)
+        #: auto-checkpoint event handles per group
+        self._periodic: dict[int, object] = {}
+
+    # -- sls persist -------------------------------------------------------------
+
+    def persist(
+        self,
+        target,
+        name: Optional[str] = None,
+        period_ns: int = DEFAULT_PERIOD_NS,
+        auto_checkpoint: bool = False,
+    ) -> PersistenceGroup:
+        """``sls persist``: put a process tree or container in a group."""
+        if isinstance(target, Process):
+            group = PersistenceGroup(
+                self.kernel, name or target.name, root=target, period_ns=period_ns
+            )
+        elif isinstance(target, Container):
+            group = PersistenceGroup(
+                self.kernel, name or target.name, container=target, period_ns=period_ns
+            )
+        else:
+            raise NotPersisted(f"cannot persist a {type(target).__name__}")
+        group.extcons = ExternalConsistency(group)
+        self.groups[group.gid] = group
+        if auto_checkpoint:
+            self.start_periodic(group)
+        return group
+
+    def persist_host(
+        self,
+        period_ns: int = DEFAULT_PERIOD_NS,
+        auto_checkpoint: bool = False,
+    ) -> PersistenceGroup:
+        """Persist the whole host ("the host and each container have
+        their own persistence group"): everything under init that is
+        not already inside a container's group."""
+        existing = self.find_group("host")
+        if existing is not None:
+            return existing
+        group = self.persist(
+            self.kernel.init,
+            name="host",
+            period_ns=period_ns,
+            auto_checkpoint=auto_checkpoint,
+        )
+        group.exclude_containerized = True
+        return group
+
+    def unpersist(self, group: PersistenceGroup) -> None:
+        self.stop_periodic(group)
+        self.groups.pop(group.gid, None)
+
+    def group_of(self, proc: Process) -> Optional[PersistenceGroup]:
+        for group in self.groups.values():
+            if proc.pid in group.member_pids():
+                return group
+        return None
+
+    def find_group(self, name: str) -> Optional[PersistenceGroup]:
+        for group in self.groups.values():
+            if group.name == name:
+                return group
+        return None
+
+    # -- periodic checkpointing ("persisted 100x per second") ----------------------
+
+    def start_periodic(self, group: PersistenceGroup) -> None:
+        if group.gid in self._periodic:
+            return
+
+        def tick():
+            if group.gid not in self.groups:
+                return
+            if group.processes() and group.backends:
+                self.checkpoint(group)
+            self._periodic[group.gid] = self.kernel.events.schedule_after(
+                group.period_ns, tick
+            )
+
+        self._periodic[group.gid] = self.kernel.events.schedule_after(
+            group.period_ns, tick
+        )
+
+    def stop_periodic(self, group: PersistenceGroup) -> None:
+        handle = self._periodic.pop(group.gid, None)
+        if handle is not None:
+            handle.cancel()
+
+    # -- checkpoint --------------------------------------------------------------------
+
+    @staticmethod
+    def _checkpointable_objects(procs: list[Process]) -> list[VMObject]:
+        """Group VM objects minus those excluded via ``sls_mctl``."""
+        objects = group_vm_objects(procs)
+        included: set[int] = set()
+        excluded: set[int] = set()
+        for proc in procs:
+            for entry in proc.aspace.entries:
+                chain: Optional[VMObject] = entry.obj
+                while chain is not None:
+                    (excluded if entry.sls_exclude else included).add(chain.oid)
+                    chain = chain.shadow
+        drop = excluded - included
+        return [o for o in objects if o.oid not in drop]
+
+    def checkpoint(
+        self,
+        group: PersistenceGroup,
+        full: Optional[bool] = None,
+        name: Optional[str] = None,
+    ) -> CheckpointImage:
+        """Take one checkpoint of ``group`` (the serialization barrier).
+
+        ``full=None`` picks automatically: the first checkpoint is
+        full, later ones incremental.  Data is flushed to the attached
+        backends asynchronously; use :meth:`barrier` to wait for
+        durability.
+        """
+        procs = group.processes()
+        if not procs:
+            raise CheckpointError(f"group {group.name!r} has no live processes")
+        if not group.backends:
+            raise BackendError(f"group {group.name!r} has no attached backends")
+        mem = self.kernel.mem
+        cpu = mem.cpu
+        clock = self.kernel.clock
+
+        incremental = group.last_freeze_epoch is not None if full is None else not full
+        if group.last_freeze_epoch is None:
+            incremental = False
+        if group.force_full and full is None:
+            # Retention asked for a consolidating full checkpoint.
+            incremental = False
+            group.force_full = False
+
+        metrics = CheckpointMetrics(
+            group=group.name,
+            incremental=incremental,
+            started_at_ns=clock.now,
+            backends_expected=len(group.backends),
+        )
+
+        # --- serialization barrier: stop every process -------------------
+        for proc in procs:
+            proc.stop_all_threads()
+            mem.charge(cpu.proc_stop_ns)
+
+        # --- metadata copy ------------------------------------------------
+        with clock.region() as meta_region:
+            mem.charge(cpu.ckpt_fixed_ns)
+            meta, ctx = serialize_group(procs, self.kernel)
+            mem.charge(ctx.objects_serialized * cpu.object_serialize_ns)
+            objects = self._checkpointable_objects(procs)
+            if not incremental:
+                resident = sum(o.resident_count() for o in objects)
+                mem.charge(resident * cpu.page_meta_full_ns)
+        metrics.metadata_copy_ns = meta_region.elapsed
+        metrics.objects_serialized = ctx.objects_serialized
+
+        # External consistency: cut the held streams at the barrier.
+        cuts = group.extcons.mark_barrier() if group.extcons else {}
+
+        # --- lazy data copy: arm COW over the capture set ------------------
+        with clock.region() as data_region:
+            since = None if not incremental else group.last_freeze_epoch + 1
+            freeze_set = self.kernel.cow.freeze(objects, incremental_since=since)
+        metrics.data_copy_ns = data_region.elapsed
+        metrics.pages_captured = len(freeze_set)
+        group.last_freeze_epoch = freeze_set.epoch
+
+        # Hot-set hint for lazy restores: the pages captured by this
+        # freeze are the most recently written — the clock algorithm's
+        # best guess at the working set ("eagerly paging in the hottest
+        # pages to avoid excessive page faults").  The prefetch budget
+        # is bounded so a lazy restore of a full image stays lazy.
+        budget = min(4096, max(64, len(freeze_set) // 10))
+        hot: dict[int, list[int]] = {}
+        for frozen in freeze_set.pages[:budget]:
+            hot.setdefault(frozen.obj.oid, []).append(frozen.pindex)
+        meta["hot"] = hot
+
+        # --- resume -----------------------------------------------------------
+        for proc in procs:
+            proc.resume_all_threads()
+        metrics.stop_time_ns = clock.now - metrics.started_at_ns
+
+        # --- asynchronous flush to every backend --------------------------------
+        parent = group.latest_image
+        image = CheckpointImage(
+            name=name or f"{group.name}@{freeze_set.epoch}",
+            group_name=group.name,
+            epoch=freeze_set.epoch,
+            incremental=incremental,
+            meta=meta,
+            parent=parent,
+            metrics=metrics,
+        )
+        failures: list[tuple[str, Exception]] = []
+        for backend in group.backends:
+            try:
+                backend.persist(image, freeze_set, parent)
+            except (HardwareError, ObjectStoreError) as exc:
+                # A failed backend must not lose the checkpoint on the
+                # healthy ones; durability expectation shrinks.
+                failures.append((backend.name, exc))
+                image.metrics.backends_expected -= 1
+        if failures and image.metrics.backends_expected == 0:
+            for frozen in freeze_set.pages:
+                self.kernel.phys.release(frozen.page)
+            raise CheckpointError(
+                f"every backend failed: "
+                + "; ".join(f"{name}: {exc}" for name, exc in failures)
+            )
+        image.failed_backends = [name for name, _ in failures]
+        # A backend may already have been the last one standing.
+        if image.durable_on and not image.durable:
+            image.mark_durable(next(iter(image.durable_on)),
+                               self.kernel.clock.now)
+
+        # The freeze pass held one reference per captured frame.  If a
+        # memory backend captured the image it now owns those holds;
+        # otherwise the content lives in store/remote copies and the
+        # holds are dropped.
+        if group.memory_backend() is None:
+            for frozen in freeze_set.pages:
+                self.kernel.phys.release(frozen.page)
+
+        if group.extcons is not None:
+            extcons = group.extcons
+            image.on_durable(lambda _img: extcons.on_checkpoint_durable(cuts))
+        group.add_image(image)
+        group.stats.record(metrics)
+        return image
+
+    # -- durability ---------------------------------------------------------------------
+
+    def barrier(self, group: PersistenceGroup) -> int:
+        """``sls_barrier``: wait until the latest image is durable.
+
+        Advances virtual time (running background flush events) until
+        every backend has confirmed.  Returns the durability time.
+        """
+        image = group.latest_image
+        if image is None:
+            return self.kernel.clock.now
+        guard = 0
+        while not image.durable:
+            deadline = self.kernel.events.next_deadline()
+            if deadline is None:
+                # No pending flush event can complete it (e.g. memory
+                # backend already durable) — nothing to wait for.
+                break
+            self.kernel.events.run_until(deadline)
+            guard += 1
+            if guard > 1_000_000:
+                raise CheckpointError("barrier did not converge")
+        return self.kernel.clock.now
+
+    # -- restore / rollback (delegated) -----------------------------------------------------
+
+    def restore(self, *args, **kwargs):
+        return self.restore_engine.restore(*args, **kwargs)
+
+    def ps(self) -> list[dict]:
+        """``sls ps``: one row per persisted application."""
+        rows = []
+        for group in self.groups.values():
+            rows.append(
+                {
+                    "group": group.name,
+                    "gid": group.gid,
+                    "pids": sorted(group.member_pids()),
+                    "backends": [b.name for b in group.backends],
+                    "checkpoints": group.stats.checkpoints_taken,
+                    "images": [img.name for img in group.images],
+                    "mean_stop_us": group.stats.mean_stop_ns() / 1000.0,
+                }
+            )
+        return rows

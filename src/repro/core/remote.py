@@ -1,0 +1,303 @@
+"""``sls send`` / ``sls recv`` and live migration (paper §3.1).
+
+"Users can easily share or migrate applications using the send and
+recv commands to serialize a checkpoint state or continually feed
+incremental checkpoints to a remote host.  Flags to these commands
+allow the user to pipe a single checkpoint to a file to give to
+another user, live migrate the application, or provide fault
+tolerance."
+
+Three flows are implemented:
+
+- :func:`sls_send` / :meth:`MigrationReceiver.pump` — one-shot image
+  transfer (also usable as export-to-file via :func:`export_image`);
+- continuous replication — a :class:`~repro.core.backends.RemoteBackend`
+  attached to the group feeds every incremental checkpoint to the
+  receiver, which applies the deltas into its own object store;
+- :func:`live_migrate` — iterative pre-copy on top of replication: a
+  few incremental rounds while the application runs, then a final
+  stop-and-copy round, restore on the target, teardown at the source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.backends import RemoteBackend
+from repro.core.checkpoint import CheckpointImage, PageMap
+from repro.core.group import PersistenceGroup
+from repro.core.metrics import CheckpointMetrics, RestoreMetrics
+from repro.core.orchestrator import SLS
+from repro.errors import MigrationError
+from repro.hw.netdev import NetworkEndpoint
+from repro.mem.page import Page
+from repro.objstore.record import decode, encode
+from repro.objstore.store import ObjectStore, PageRef
+from repro.posix.process import Process
+
+
+def collect_payloads(image: CheckpointImage, store: Optional[ObjectStore]) -> list:
+    """Materialize [oid, pindex, payload] for every page of an image."""
+    out = []
+    if image.memory_pages is not None:
+        for oid, pages in image.memory_pages.items():
+            for pindex, page in pages.items():
+                assert isinstance(page, Page)
+                out.append([oid, pindex, page.snapshot_payload()])
+        return out
+    if not image.page_refs:
+        return out
+    if store is None:
+        raise MigrationError("store required to read a disk image for send")
+    backend_name = next(iter(image.page_refs))
+    refs = image.page_refs[backend_name]
+    flat = [
+        (oid, pindex, ref)
+        for oid, pages in refs.items()
+        for pindex, ref in pages.items()
+        if isinstance(ref, PageRef)
+    ]
+    payloads = store.read_pages_coalesced([r for _, _, r in flat])
+    for oid, pindex, ref in flat:
+        out.append([oid, pindex, payloads[ref.content_hash]])
+    return out
+
+
+def export_image(image: CheckpointImage, store: Optional[ObjectStore] = None) -> bytes:
+    """Serialize a self-contained image ("pipe a single checkpoint to a
+    file to give to another user")."""
+    return encode(
+        {
+            "kind": "image",
+            "group": image.group_name,
+            "name": image.name,
+            "epoch": image.epoch,
+            "meta": image.meta,
+            "pages": collect_payloads(image, store),
+        }
+    )
+
+
+def sls_send(
+    image: CheckpointImage,
+    endpoint: NetworkEndpoint,
+    peer: str,
+    store: Optional[ObjectStore] = None,
+) -> int:
+    """``sls send``: ship one self-contained image; returns bytes sent."""
+    payload = export_image(image, store)
+    endpoint.send(peer, payload)
+    return len(payload)
+
+
+def import_image(blob: bytes, store: ObjectStore) -> CheckpointImage:
+    """Load an exported image blob into a store ("give to another
+    user"): the file-transfer counterpart of send/recv.
+
+    Returns a restorable image whose pages live in ``store`` under the
+    backend name ``"import"``.
+    """
+    value = decode(blob)
+    if not isinstance(value, dict) or value.get("kind") != "image":
+        raise MigrationError("blob is not an exported checkpoint image")
+    page_refs: PageMap = {}
+    all_refs = []
+    for oid, pindex, payload in value["pages"]:
+        ref = store.write_page(payload)
+        page_refs.setdefault(oid, {})[pindex] = ref
+        all_refs.append(ref)
+    meta_ref = store.write_meta(oid=0, value=value["meta"], epoch=value["epoch"])
+    snapshot = store.commit_snapshot(
+        name=f"import:{value['name']}",
+        meta={"group": value["group"], "imported": True},
+        records=[meta_ref],
+        pages=all_refs,
+        epoch=value["epoch"],
+    )
+    image = CheckpointImage(
+        name=value["name"],
+        group_name=value["group"],
+        epoch=value["epoch"],
+        incremental=False,
+        meta=value["meta"],
+        metrics=CheckpointMetrics(group=value["group"]),
+    )
+    image.snapshots["import"] = snapshot
+    image.page_refs["import"] = page_refs
+    return image
+
+
+@dataclass
+class _GroupStream:
+    """Receiver-side assembly state for one replicated group."""
+
+    meta: Optional[dict] = None
+    name: str = ""
+    epoch: int = 0
+    page_refs: PageMap = field(default_factory=dict)
+    checkpoints_applied: int = 0
+
+
+class MigrationReceiver:
+    """``sls recv``: applies images and replication streams locally."""
+
+    def __init__(self, sls: SLS, store: ObjectStore, endpoint: NetworkEndpoint):
+        self.sls = sls
+        self.store = store
+        self.endpoint = endpoint
+        self._streams: dict[str, _GroupStream] = {}
+        self.images_received = 0
+
+    # -- stream assembly -------------------------------------------------------
+
+    def _apply_pages(self, stream: _GroupStream, pages: list) -> None:
+        for oid, pindex, payload in pages:
+            ref = self.store.write_page(payload)
+            stream.page_refs.setdefault(oid, {})[pindex] = ref
+
+    def _apply_message(self, value: dict) -> Optional[str]:
+        kind = value.get("kind")
+        if kind not in ("image", "checkpoint", "finish"):
+            raise MigrationError(f"unknown migration message kind {kind!r}")
+        group_name = value["group"]
+        stream = self._streams.setdefault(group_name, _GroupStream())
+        if kind == "finish":
+            return group_name
+        stream.meta = value["meta"]
+        stream.name = value["name"]
+        stream.epoch = value["epoch"]
+        self._apply_pages(stream, value["pages"])
+        stream.checkpoints_applied += 1
+        self.images_received += 1
+        if kind == "image":
+            return group_name
+        return None
+
+    def pump(self, wait: bool = True) -> list[str]:
+        """Process incoming messages; returns groups ready to restore."""
+        ready = []
+        while True:
+            message = self.endpoint.receive(wait=wait and not ready)
+            if message is None:
+                break
+            group_name = self._apply_message(decode(message.payload))
+            if group_name is not None:
+                ready.append(group_name)
+        return ready
+
+    # -- restore --------------------------------------------------------------------
+
+    def build_image(self, group_name: str) -> CheckpointImage:
+        stream = self._streams.get(group_name)
+        if stream is None or stream.meta is None:
+            raise MigrationError(f"no received image for group {group_name!r}")
+        all_refs = [
+            ref
+            for pages in stream.page_refs.values()
+            for ref in pages.values()
+            if isinstance(ref, PageRef)
+        ]
+        meta_ref = self.store.write_meta(oid=0, value=stream.meta, epoch=stream.epoch)
+        snapshot = self.store.commit_snapshot(
+            name=f"recv:{stream.name}",
+            meta={"group": group_name, "received": True},
+            records=[meta_ref],
+            pages=all_refs,
+            epoch=stream.epoch,
+        )
+        image = CheckpointImage(
+            name=stream.name,
+            group_name=group_name,
+            epoch=stream.epoch,
+            incremental=False,
+            meta=stream.meta,
+            metrics=CheckpointMetrics(group=group_name),
+        )
+        image.snapshots["recv"] = snapshot
+        image.page_refs["recv"] = dict(stream.page_refs)
+        return image
+
+    def restore(
+        self, group_name: str, lazy: bool = False, new_instance: bool = False
+    ) -> tuple[list[Process], RestoreMetrics]:
+        image = self.build_image(group_name)
+        return self.sls.restore(
+            image,
+            backend_name="recv",
+            store=self.store,
+            lazy=lazy,
+            new_instance=new_instance,
+        )
+
+
+@dataclass
+class MigrationReport:
+    rounds: int = 0
+    pages_shipped: int = 0
+    bytes_shipped: int = 0
+    downtime_ns: int = 0
+    total_ns: int = 0
+
+
+def live_migrate(
+    src_sls: SLS,
+    group: PersistenceGroup,
+    receiver: MigrationReceiver,
+    endpoint: NetworkEndpoint,
+    peer: str,
+    rounds: int = 3,
+    dirty_threshold_pages: int = 64,
+) -> tuple[list[Process], MigrationReport]:
+    """Live-migrate ``group`` to the receiver's kernel.
+
+    Pre-copy rounds ship incremental checkpoints while the source keeps
+    running; once the dirty delta is small (or ``rounds`` is exhausted)
+    the source is stopped, a final delta ships, and the target restores.
+    """
+    kernel = src_sls.kernel
+    report = MigrationReport()
+    start_ns = kernel.clock.now
+
+    remote = RemoteBackend("migrate", endpoint, peer)
+    group.attach(remote)
+    try:
+        for round_no in range(rounds):
+            image = src_sls.checkpoint(group, name=f"migrate-{round_no}")
+            report.rounds += 1
+            report.pages_shipped += image.metrics.pages_captured
+            src_sls.barrier(group)
+            receiver.pump(wait=True)
+            if (
+                round_no > 0
+                and image.metrics.pages_captured <= dirty_threshold_pages
+            ):
+                break
+
+        # Stop-and-copy: final downtime window.
+        downtime_start = kernel.clock.now
+        procs = group.processes()
+        for proc in procs:
+            proc.stop_all_threads()
+        final = src_sls.checkpoint(group, name="migrate-final")
+        report.rounds += 1
+        report.pages_shipped += final.metrics.pages_captured
+        src_sls.barrier(group)
+        endpoint.send(peer, encode({"kind": "finish", "group": group.name}))
+        ready = receiver.pump(wait=True)
+        if group.name not in ready:
+            raise MigrationError("receiver did not see the finish marker")
+        restored, _metrics = receiver.restore(group.name)
+        report.downtime_ns = kernel.clock.now - downtime_start
+
+        # Tear down the source incarnation.
+        for proc in sorted(group.processes(), key=lambda p: p.pid, reverse=True):
+            kernel.exit(proc)
+            kernel.reap(proc)
+        src_sls.unpersist(group)
+    finally:
+        if remote in group.backends:
+            group.detach(remote.name)
+    report.bytes_shipped = remote.bytes_sent
+    report.total_ns = kernel.clock.now - start_ns
+    return restored, report

@@ -1,0 +1,330 @@
+"""The restore engine (Table 4's three phases).
+
+Restores rebuild an application from a checkpoint image:
+
+1. **Object store read** (disk restores): the manifest, the metadata
+   record, and — for eager restores — the page data are read in with
+   large coalesced reads.
+2. **Metadata state**: every kernel object is recreated and re-linked.
+3. **Memory state**: address spaces are rebuilt and page content is
+   attached: shared COW with an in-memory image (no copies), installed
+   from the just-read payloads, or — for *lazy* restores — left to a
+   pager with only the hottest pages prefetched, so the application
+   faults its working set in as it runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.backends import StoreBackend
+from repro.core.checkpoint import CheckpointImage
+from repro.core.metrics import RestoreMetrics
+from repro.errors import RestoreError
+from repro.objstore.store import ObjectStore, PageRef
+from repro.posix.kernel import Kernel
+from repro.posix.process import Process
+from repro.serial.memsnap import (
+    install_memory_pages,
+    install_store_pages,
+    make_store_pager,
+)
+from repro.serial.procsnap import restore_group
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.group import PersistenceGroup
+    from repro.core.orchestrator import SLS
+
+
+def load_image_from_store(store: ObjectStore, snapshot,
+                          backend_name: str = "disk0") -> CheckpointImage:
+    """Rebuild a restorable :class:`CheckpointImage` from a snapshot.
+
+    The post-reboot path: nothing but the device contents exists.  The
+    snapshot lineage (``parent_snap`` links) is walked oldest-first and
+    each checkpoint's persisted pagemap delta is overlaid, producing
+    the complete (object, page index) → page-ref map; hash → extent
+    bindings come from the snapshot's own manifest (which lists every
+    referenced page, inherited or new).
+    """
+    from repro.core.metrics import CheckpointMetrics
+
+    # Collect the lineage back to the covering full checkpoint,
+    # newest → oldest, then overlay oldest-first.
+    lineage = []
+    current = snapshot
+    while current is not None:
+        value, records, pages = store.load_manifest(current)
+        lineage.append((current, value, records, pages))
+        if isinstance(value, dict) and not value.get("incremental", False):
+            break  # a full checkpoint's delta is the complete map
+        parent_id = value.get("parent_snap") if isinstance(value, dict) else None
+        current = store.directory.get(parent_id) if parent_id else None
+
+    hash_to_ref: dict[bytes, PageRef] = {}
+    for _snap, _value, _records, pages in lineage:
+        for ref in pages:
+            hash_to_ref.setdefault(ref.content_hash, ref)
+
+    page_refs: dict[int, dict[int, PageRef]] = {}
+    meta = None
+    for snap, value, records, _pages in reversed(lineage):  # oldest first
+        if not records:
+            raise RestoreError(f"snapshot {snap.name!r} has no metadata record")
+        record_value = store.read_meta(records[0])
+        if not isinstance(record_value, dict) or "pagemap_delta" not in record_value:
+            raise RestoreError(
+                f"snapshot {snap.name!r} metadata lacks a pagemap delta"
+            )
+        meta = record_value["meta"]
+        for oid, entries in record_value["pagemap_delta"].items():
+            target = page_refs.setdefault(oid, {})
+            for pindex, content_hash in entries:
+                ref = hash_to_ref.get(content_hash)
+                if ref is None:
+                    raise RestoreError(
+                        f"page {content_hash.hex()} missing from manifests"
+                    )
+                target[pindex] = ref
+    if meta is None:
+        raise RestoreError("empty snapshot lineage")
+
+    image = CheckpointImage(
+        name=snapshot.name,
+        group_name=str(meta.get("procs", [{}])[0].get("name", snapshot.name))
+        if isinstance(meta, dict) else snapshot.name,
+        epoch=snapshot.epoch,
+        incremental=False,
+        meta=meta,
+        metrics=CheckpointMetrics(),
+    )
+    image.snapshots[backend_name] = snapshot
+    image.page_refs[backend_name] = page_refs
+    return image
+
+
+class RestoreEngine:
+    """Executes restores for one SLS instance."""
+
+    def __init__(self, sls: "SLS"):
+        self.sls = sls
+
+    # -- public entry points -----------------------------------------------------
+
+    def restore(
+        self,
+        image: CheckpointImage,
+        backend_name: Optional[str] = None,
+        kernel: Optional[Kernel] = None,
+        lazy: bool = False,
+        new_instance: bool = False,
+        name_suffix: str = "",
+        prefetch_hot: bool = True,
+        store: Optional[ObjectStore] = None,
+    ) -> tuple[list[Process], RestoreMetrics]:
+        """Restore ``image``; returns (processes, metrics).
+
+        ``backend_name`` picks where to read from when the image lives
+        on several backends; by default an in-memory image is
+        preferred, then the first store backend.  ``new_instance``
+        allocates fresh PIDs (scale-out) instead of reclaiming the
+        originals (crash resume).  ``store`` overrides backend lookup
+        (received/migrated images that belong to no local group).
+        """
+        kernel = kernel or self.sls.kernel
+        if backend_name is None:
+            if image.memory_pages is not None:
+                return self._restore_from_memory(
+                    image, kernel, lazy, new_instance, name_suffix
+                )
+            backend_name = next(iter(image.page_refs), None)
+            if backend_name is None:
+                raise RestoreError("image has no restorable backend")
+        if backend_name == "memory" or (
+            image.memory_pages is not None and backend_name in ("", "mem")
+        ):
+            return self._restore_from_memory(
+                image, kernel, lazy, new_instance, name_suffix
+            )
+        if store is None:
+            store = self._store_for(image, backend_name)
+        return self._restore_from_store(
+            image, store, backend_name, kernel, lazy, new_instance,
+            name_suffix, prefetch_hot,
+        )
+
+    def _store_for(self, image: CheckpointImage, backend_name: str) -> ObjectStore:
+        """Resolve the store holding ``image`` on ``backend_name``.
+
+        Backend names are per-group, so several groups may each have a
+        "disk0" — the right one is whichever store actually contains
+        the image's snapshot.
+        """
+        candidates = []
+        for group in self.sls.groups.values():
+            for backend in group.backends:
+                if backend.name == backend_name and isinstance(backend, StoreBackend):
+                    candidates.append(backend.store)
+        snapshot = image.snapshots.get(backend_name)
+        for store in candidates:
+            if snapshot is None:
+                return store
+            held = store.directory.get(snapshot.snap_id)
+            if held is not None and held.name == snapshot.name:
+                return store
+        if candidates:
+            return candidates[0]
+        raise RestoreError(f"no store backend named {backend_name!r}")
+
+    # -- memory-image restore -----------------------------------------------------
+
+    def _restore_from_memory(
+        self,
+        image: CheckpointImage,
+        kernel: Kernel,
+        lazy: bool,
+        new_instance: bool,
+        name_suffix: str,
+    ) -> tuple[list[Process], RestoreMetrics]:
+        if image.memory_pages is None:
+            raise RestoreError("image has no in-memory pages")
+        mem = kernel.mem
+        cpu = mem.cpu
+        metrics = RestoreMetrics(group=image.group_name, backend="memory", lazy=lazy)
+
+        with kernel.clock.region() as meta_region:
+            procs, ctx = restore_group(
+                image.meta,
+                kernel,
+                preserve_pids=not new_instance,
+                name_suffix=name_suffix,
+            )
+            mem.charge(cpu.restore_fixed_ns)
+            mem.charge(ctx.objects_restored * cpu.object_restore_ns)
+        metrics.metadata_ns = meta_region.elapsed
+        metrics.objects_restored = ctx.objects_restored
+
+        with kernel.clock.region() as mem_region:
+            installed = 0
+            for oid, pages in image.memory_pages.items():
+                obj = ctx.vm_objects.get(oid)
+                if obj is None:
+                    continue
+                installed += install_memory_pages(obj, pages, kernel.phys)
+            mem.charge(ctx.aspaces_created * cpu.aspace_create_ns)
+            mem.charge(ctx.entries_restored * cpu.map_entry_restore_ns)
+            mem.charge(installed * cpu.pte_share_ns)
+        metrics.memory_ns = mem_region.elapsed
+        metrics.pages_installed = installed
+
+        self._resume(procs)
+        return procs, metrics
+
+    # -- store (disk/NVDIMM) restore --------------------------------------------------
+
+    def _restore_from_store(
+        self,
+        image: CheckpointImage,
+        store: ObjectStore,
+        backend_name: str,
+        kernel: Kernel,
+        lazy: bool,
+        new_instance: bool,
+        name_suffix: str,
+        prefetch_hot: bool,
+    ) -> tuple[list[Process], RestoreMetrics]:
+        page_refs = image.page_refs.get(backend_name)
+        if page_refs is None:
+            raise RestoreError(f"image not present on backend {backend_name!r}")
+        mem = kernel.mem
+        cpu = mem.cpu
+        metrics = RestoreMetrics(
+            group=image.group_name, backend=backend_name, lazy=lazy
+        )
+        discount = cpu.implicit_restore_discount
+
+        # --- phase 1: object store read ------------------------------------
+        with kernel.clock.region() as read_region:
+            snapshot = image.snapshots.get(backend_name)
+            if snapshot is not None and snapshot.snap_id in (
+                s.snap_id for s in store.snapshots()
+            ):
+                _value, records, _pages = store.load_manifest(snapshot)
+                meta = store.read_meta(records[0]) if records else image.meta
+                if isinstance(meta, dict) and "pagemap_delta" in meta:
+                    meta = meta["meta"]
+            else:
+                meta = image.meta
+            payloads: dict[bytes, bytes] = {}
+            if not lazy:
+                all_refs = [
+                    ref
+                    for pages in page_refs.values()
+                    for ref in pages.values()
+                    if isinstance(ref, PageRef)
+                ]
+                payloads = store.read_pages_coalesced(all_refs)
+            elif prefetch_hot:
+                hot = meta.get("hot") or {}
+                hot_refs = []
+                for oid, pindexes in hot.items():
+                    obj_refs = page_refs.get(oid, {})
+                    hot_refs.extend(
+                        obj_refs[p] for p in pindexes if p in obj_refs
+                    )
+                payloads = store.read_pages_coalesced(hot_refs)
+        metrics.objstore_read_ns = read_region.elapsed
+
+        # --- phase 2: metadata state ------------------------------------------
+        with kernel.clock.region() as meta_region:
+            procs, ctx = restore_group(
+                meta,
+                kernel,
+                preserve_pids=not new_instance,
+                name_suffix=name_suffix,
+            )
+            mem.charge(cpu.restore_fixed_ns * discount)
+            mem.charge(ctx.objects_restored * cpu.object_restore_ns)
+        metrics.metadata_ns = meta_region.elapsed
+        metrics.objects_restored = ctx.objects_restored
+
+        # --- phase 3: memory state ----------------------------------------------
+        with kernel.clock.region() as mem_region:
+            installed = 0
+            lazy_pages = 0
+            for oid, refs in page_refs.items():
+                obj = ctx.vm_objects.get(oid)
+                if obj is None:
+                    continue
+                typed_refs = {
+                    p: r for p, r in refs.items() if isinstance(r, PageRef)
+                }
+                if lazy:
+                    obj.pager = make_store_pager(store, typed_refs, mem)
+                    # Prefetch whatever the hot read brought in.
+                    ready = {
+                        p: payloads[r.content_hash]
+                        for p, r in typed_refs.items()
+                        if r.content_hash in payloads
+                    }
+                    installed += install_store_pages(obj, ready, kernel.phys, mem)
+                    lazy_pages += len(typed_refs) - len(ready)
+                else:
+                    ready = {
+                        p: payloads[r.content_hash] for p, r in typed_refs.items()
+                    }
+                    installed += install_store_pages(obj, ready, kernel.phys, mem)
+            mem.charge(ctx.aspaces_created * cpu.aspace_create_ns * discount)
+            mem.charge(ctx.entries_restored * cpu.map_entry_restore_ns)
+            mem.charge(installed * cpu.pte_share_ns)
+        metrics.memory_ns = mem_region.elapsed
+        metrics.pages_installed = installed
+        metrics.pages_lazy = lazy_pages
+
+        self._resume(procs)
+        return procs, metrics
+
+    @staticmethod
+    def _resume(procs: list[Process]) -> None:
+        for proc in procs:
+            proc.resume_all_threads()

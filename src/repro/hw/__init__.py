@@ -1,0 +1,43 @@
+"""Simulated hardware: storage devices, network links, CPU cost model."""
+
+from repro.hw.device import IoStats, IoTicket, StorageDevice
+from repro.hw.memdev import MemoryDevice
+from repro.hw.netdev import NetMessage, NetworkEndpoint, NetworkLink
+from repro.hw.nvdimm import NvdimmDevice
+from repro.hw.nvme import NvmeDevice
+from repro.hw.specs import (
+    DEFAULT_CPU,
+    DRAM,
+    HUNDRED_GBE,
+    NAND_SSD,
+    NVDIMM_SPEC,
+    OPTANE_900P,
+    SPINNING_DISK,
+    TEN_GBE,
+    CpuCostModel,
+    DeviceSpec,
+    NetworkSpec,
+)
+
+__all__ = [
+    "IoStats",
+    "IoTicket",
+    "StorageDevice",
+    "MemoryDevice",
+    "NetMessage",
+    "NetworkEndpoint",
+    "NetworkLink",
+    "NvdimmDevice",
+    "NvmeDevice",
+    "DEFAULT_CPU",
+    "DRAM",
+    "HUNDRED_GBE",
+    "NAND_SSD",
+    "NVDIMM_SPEC",
+    "OPTANE_900P",
+    "SPINNING_DISK",
+    "TEN_GBE",
+    "CpuCostModel",
+    "DeviceSpec",
+    "NetworkSpec",
+]

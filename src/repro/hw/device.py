@@ -1,0 +1,266 @@
+"""Simulated storage devices.
+
+A :class:`StorageDevice` stores real bytes (so the object store's
+checksums, dedup, and crash tests operate on actual data) and charges
+virtual time according to its :class:`~repro.hw.specs.DeviceSpec`.
+
+Two I/O flavours mirror how Aurora uses devices:
+
+- **synchronous** reads/writes advance the shared clock to completion
+  (restore paths, log flushes with ``sls_ntflush``);
+- **asynchronous** writes return the completion time without blocking
+  the caller — the orchestrator's background flusher resumes the
+  application immediately and uses the event queue to learn when data
+  became durable (external consistency releases buffered output then).
+
+Durability is modelled faithfully: a write is durable only once its
+completion time has passed; :meth:`StorageDevice.crash` at time *t*
+discards in-flight writes, which the object-store recovery tests use to
+exercise torn-checkpoint handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceFullError, DeviceIOError
+from repro.hw.specs import DeviceSpec
+from repro.sim.clock import SimClock
+from repro.units import transfer_ns
+
+_BLOCK = 4096
+
+
+@dataclass
+class IoStats:
+    """Cumulative I/O counters for one device."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    #: ns the device spent transferring data (utilization numerator).
+    busy_ns: int = 0
+
+
+@dataclass
+class _PendingWrite:
+    offset: int
+    data: bytes
+    durable_at: int
+
+
+@dataclass
+class IoTicket:
+    """Result of an I/O request: when it started and when it completes."""
+
+    issued_at: int
+    completes_at: int
+
+    @property
+    def latency_ns(self) -> int:
+        return self.completes_at - self.issued_at
+
+
+class StorageDevice:
+    """A block/byte storage device with a latency+bandwidth cost model.
+
+    Contents live in a sparse dict of 4 KiB blocks; unaligned extents
+    are handled with read-modify-write so callers may use byte offsets.
+    """
+
+    def __init__(self, spec: DeviceSpec, clock: SimClock, name: str | None = None):
+        self.spec = spec
+        self.clock = clock
+        self.name = name or spec.name
+        self.stats = IoStats()
+        self._blocks: dict[int, bytearray] = {}
+        self._pending: list[_PendingWrite] = []
+        self._busy_until = 0
+        self._used = 0
+        self._failed = False
+        #: error injection: fail the next N operations
+        self._inject_failures = 0
+
+    # -- capacity --------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes of device capacity holding written data."""
+        return self._used
+
+    @property
+    def capacity(self) -> int:
+        return self.spec.capacity
+
+    def inject_failures(self, count: int = 1) -> None:
+        """Make the next ``count`` I/O operations raise ``DeviceIOError``."""
+        self._inject_failures += count
+
+    # -- cost model ------------------------------------------------------
+
+    def _occupy(self, nbytes: int, latency_ns: int, bandwidth: float) -> IoTicket:
+        """Reserve device time for one operation and return its ticket."""
+        issued = self.clock.now
+        start = max(issued, self._busy_until)
+        xfer = transfer_ns(nbytes, bandwidth)
+        completes = start + latency_ns + xfer
+        self._busy_until = start + xfer
+        self.stats.busy_ns += xfer
+        return IoTicket(issued_at=issued, completes_at=completes)
+
+    def _check_fault(self) -> None:
+        if self._failed:
+            raise DeviceIOError(f"{self.name}: device is failed")
+        if self._inject_failures > 0:
+            self._inject_failures -= 1
+            raise DeviceIOError(f"{self.name}: injected I/O failure")
+
+    # -- data plane ------------------------------------------------------
+
+    def _store(self, offset: int, data: bytes) -> None:
+        pos = offset
+        remaining = memoryview(bytes(data))
+        while remaining.nbytes:
+            block_no, within = divmod(pos, _BLOCK)
+            chunk = min(_BLOCK - within, remaining.nbytes)
+            block = self._blocks.get(block_no)
+            if block is None:
+                block = bytearray(_BLOCK)
+                self._blocks[block_no] = block
+                self._used += _BLOCK
+            block[within : within + chunk] = remaining[:chunk]
+            remaining = remaining[chunk:]
+            pos += chunk
+
+    def _load(self, offset: int, nbytes: int) -> bytes:
+        out = bytearray(nbytes)
+        pos = offset
+        filled = 0
+        while filled < nbytes:
+            block_no, within = divmod(pos, _BLOCK)
+            chunk = min(_BLOCK - within, nbytes - filled)
+            block = self._blocks.get(block_no)
+            if block is not None:
+                out[filled : filled + chunk] = block[within : within + chunk]
+            filled += chunk
+            pos += chunk
+        return bytes(out)
+
+    # -- public I/O ------------------------------------------------------
+
+    def read(self, offset: int, nbytes: int, logical_nbytes: int | None = None) -> bytes:
+        """Synchronous read; advances the clock to completion.
+
+        ``logical_nbytes`` inflates the *time* charged without changing
+        the bytes returned: the simulation stores page payloads
+        compactly but their on-media size is a full page.
+        """
+        self._check_fault()
+        if nbytes < 0 or offset < 0:
+            raise DeviceIOError("negative read extent")
+        ticket = self._occupy(
+            max(nbytes, logical_nbytes or 0),
+            self.spec.read_latency_ns,
+            self.spec.read_bandwidth,
+        )
+        self.clock.advance_to(ticket.completes_at)
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        return self._load(offset, nbytes)
+
+    def write(self, offset: int, data: bytes, logical_nbytes: int | None = None) -> IoTicket:
+        """Synchronous write; advances the clock to durability."""
+        ticket = self.write_async(offset, data, logical_nbytes=logical_nbytes)
+        self.clock.advance_to(ticket.completes_at)
+        return ticket
+
+    def write_async(self, offset: int, data: bytes, logical_nbytes: int | None = None) -> IoTicket:
+        """Queue a write; returns its ticket without advancing the clock.
+
+        The data is visible to subsequent reads immediately (device
+        buffer) but is only *durable* — i.e. survives :meth:`crash` —
+        once the clock passes ``ticket.completes_at``.
+        """
+        self._check_fault()
+        if offset < 0:
+            raise DeviceIOError("negative write offset")
+        end = offset + len(data)
+        if end > self.spec.capacity:
+            raise DeviceFullError(
+                f"{self.name}: write [{offset}, {end}) exceeds capacity {self.spec.capacity}"
+            )
+        ticket = self._occupy(
+            max(len(data), logical_nbytes or 0),
+            self.spec.write_latency_ns,
+            self.spec.write_bandwidth,
+        )
+        self._store(offset, data)
+        self._pending.append(
+            _PendingWrite(offset=offset, data=bytes(data), durable_at=ticket.completes_at)
+        )
+        self.stats.writes += 1
+        self.stats.bytes_written += max(len(data), logical_nbytes or 0)
+        return ticket
+
+    def flush_barrier(self) -> int:
+        """Advance the clock until every queued write is durable.
+
+        Returns the time at which the device became idle.  This is the
+        device-level primitive behind ``sls_barrier``.
+        """
+        deadline = self.clock.now
+        for pending in self._pending:
+            deadline = max(deadline, pending.durable_at)
+        self.clock.advance_to(deadline)
+        self._retire_pending()
+        return deadline
+
+    def _retire_pending(self) -> None:
+        now = self.clock.now
+        self._pending = [p for p in self._pending if p.durable_at > now]
+
+    def pending_writes(self) -> int:
+        """Number of writes not yet durable at the current time."""
+        self._retire_pending()
+        return len(self._pending)
+
+    def pending_deadline(self) -> int:
+        """Virtual time when everything currently queued is durable."""
+        self._retire_pending()
+        if not self._pending:
+            return self.clock.now
+        return max(p.durable_at for p in self._pending)
+
+    # -- failure model ---------------------------------------------------
+
+    def crash(self) -> int:
+        """Simulate a power failure at the current instant.
+
+        In-flight (non-durable) writes are torn out of the media; if
+        the device is volatile (``spec.persistent == False``) all
+        contents are lost.  Returns the number of writes discarded.
+        """
+        self._retire_pending()
+        lost = len(self._pending)
+        if not self.spec.persistent:
+            self._blocks.clear()
+            self._used = 0
+            self._pending.clear()
+            self._busy_until = self.clock.now
+            return lost
+        for pending in self._pending:
+            # Tear the write: the media holds stale (zero) data again.
+            self._store(pending.offset, bytes(len(pending.data)))
+        self._pending.clear()
+        self._busy_until = self.clock.now
+        return lost
+
+    def utilization(self, window_ns: int) -> float:
+        """Fraction of ``window_ns`` the device spent transferring."""
+        if window_ns <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_ns / window_ns)
+
+    def __repr__(self) -> str:
+        return f"<StorageDevice {self.name!r} used={self._used}B>"

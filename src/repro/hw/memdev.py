@@ -1,0 +1,26 @@
+"""Volatile memory backend device.
+
+The paper: "For debugging and speculative execution applications can
+use a local memory backend to store ephemeral checkpoints."  Contents
+are lost on :meth:`~repro.hw.device.StorageDevice.crash`.
+"""
+
+from __future__ import annotations
+
+from repro.hw.device import StorageDevice
+from repro.hw.specs import DRAM, DeviceSpec
+from repro.sim.clock import SimClock
+
+
+class MemoryDevice(StorageDevice):
+    """DRAM-backed ephemeral checkpoint target."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        spec: DeviceSpec = DRAM,
+        name: str | None = None,
+    ):
+        if spec.persistent:
+            raise ValueError("memory backend spec must be volatile")
+        super().__init__(spec=spec, clock=clock, name=name or "mem0")

@@ -1,0 +1,106 @@
+"""Network link model used by the remote backend and ``sls send/recv``.
+
+A :class:`NetworkLink` connects two named endpoints and charges
+per-message latency plus serialization time at line rate.  Delivery is
+in-order; messages become available at the receiver once the virtual
+clock passes their arrival time, which the live-migration and
+replication paths use to model continuous incremental-checkpoint
+shipping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hw.specs import TEN_GBE, NetworkSpec
+from repro.sim.clock import SimClock
+from repro.units import transfer_ns
+
+
+@dataclass
+class NetMessage:
+    """One in-flight message between endpoints."""
+
+    sender: str
+    receiver: str
+    payload: bytes
+    sent_at: int
+    arrives_at: int
+
+
+class NetworkEndpoint:
+    """A host's attachment point to a :class:`NetworkLink`."""
+
+    def __init__(self, link: "NetworkLink", name: str):
+        self.link = link
+        self.name = name
+        self._inbox: deque[NetMessage] = deque()
+
+    def send(self, receiver: str, payload: bytes) -> NetMessage:
+        """Transmit ``payload``; returns the message with arrival time."""
+        return self.link.transmit(self.name, receiver, payload)
+
+    def _deliver(self, message: NetMessage) -> None:
+        self._inbox.append(message)
+
+    def pending(self) -> int:
+        """Messages that have arrived (by virtual time) and are unread."""
+        return sum(1 for m in self._inbox if m.arrives_at <= self.link.clock.now)
+
+    def receive(self, wait: bool = True) -> NetMessage | None:
+        """Pop the next in-order message.
+
+        With ``wait`` the clock advances to the message's arrival time;
+        without it, returns ``None`` if nothing has arrived yet.
+        """
+        if not self._inbox:
+            return None
+        head = self._inbox[0]
+        if head.arrives_at > self.link.clock.now:
+            if not wait:
+                return None
+            self.link.clock.advance_to(head.arrives_at)
+        return self._inbox.popleft()
+
+
+class NetworkLink:
+    """A point-to-point (or small-switch) network between named hosts."""
+
+    def __init__(self, clock: SimClock, spec: NetworkSpec = TEN_GBE):
+        self.clock = clock
+        self.spec = spec
+        self._endpoints: dict[str, NetworkEndpoint] = {}
+        self._wire_busy_until = 0
+        self.bytes_carried = 0
+        self.messages_carried = 0
+
+    def attach(self, name: str) -> NetworkEndpoint:
+        """Create (or fetch) the endpoint for host ``name``."""
+        if name not in self._endpoints:
+            self._endpoints[name] = NetworkEndpoint(self, name)
+        return self._endpoints[name]
+
+    def transmit(self, sender: str, receiver: str, payload: bytes) -> NetMessage:
+        if sender not in self._endpoints:
+            raise HardwareError(f"unknown sender endpoint {sender!r}")
+        if receiver not in self._endpoints:
+            raise HardwareError(f"unknown receiver endpoint {receiver!r}")
+        start = max(self.clock.now, self._wire_busy_until)
+        # Per-packet framing overhead at the MTU.
+        npackets = max(1, -(-len(payload) // self.spec.mtu))
+        wire_ns = transfer_ns(len(payload) + npackets * 80, self.spec.bandwidth)
+        arrives = start + wire_ns + self.spec.latency_ns
+        self._wire_busy_until = start + wire_ns
+        message = NetMessage(
+            sender=sender,
+            receiver=receiver,
+            payload=bytes(payload),
+            sent_at=self.clock.now,
+            arrives_at=arrives,
+        )
+        self._endpoints[receiver]._deliver(message)
+        self.bytes_carried += len(payload)
+        self.messages_carried += 1
+        return message

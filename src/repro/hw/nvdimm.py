@@ -1,0 +1,25 @@
+"""NVDIMM device — byte-addressable persistent memory backend."""
+
+from __future__ import annotations
+
+from repro.hw.device import StorageDevice
+from repro.hw.specs import NVDIMM_SPEC, DeviceSpec
+from repro.sim.clock import SimClock
+
+
+class NvdimmDevice(StorageDevice):
+    """Byte-addressable persistent memory (DDR4 NVDIMM-N by default).
+
+    Aurora uses NVDIMMs, when available, as the lowest-latency local
+    backend for persistence groups.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        spec: DeviceSpec = NVDIMM_SPEC,
+        name: str | None = None,
+    ):
+        if not spec.byte_addressable:
+            raise ValueError("NVDIMM spec must be byte addressable")
+        super().__init__(spec=spec, clock=clock, name=name or "nvdimm0")

@@ -1,0 +1,19 @@
+"""NVMe flash device (the paper's primary backend: Intel Optane 900P)."""
+
+from __future__ import annotations
+
+from repro.hw.device import StorageDevice
+from repro.hw.specs import OPTANE_900P, DeviceSpec
+from repro.sim.clock import SimClock
+
+
+class NvmeDevice(StorageDevice):
+    """An NVMe SSD; defaults to the Optane 900P used in the paper."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        spec: DeviceSpec = OPTANE_900P,
+        name: str | None = None,
+    ):
+        super().__init__(spec=spec, clock=clock, name=name or "nvme0")

@@ -1,0 +1,116 @@
+"""The clock (second-chance) page replacement algorithm.
+
+Aurora uses clock for two things (paper §3):
+
+- choosing pageout victims under memory pressure (classic role);
+- ranking the *hottest* pages so lazy restores can eagerly prefetch
+  them and "avoid excessive page faults".
+
+The implementation keeps the canonical circular scan with reference
+bits; reference bits are fed from PTE ``accessed`` bits by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+
+@dataclass
+class _ClockSlot:
+    key: Hashable
+    referenced: bool = True
+    #: times the hand found the reference bit set; a cheap hotness proxy
+    hot_score: int = 0
+
+
+class ClockAlgorithm:
+    """Circular second-chance scan over an arbitrary key universe.
+
+    Keys are typically ``(vm_object_id, page_index)`` pairs.
+    """
+
+    def __init__(self):
+        self._ring: list[_ClockSlot] = []
+        self._index: dict[Hashable, _ClockSlot] = {}
+        self._hand = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._index
+
+    def insert(self, key: Hashable) -> None:
+        """Track a newly-resident page (reference bit set)."""
+        if key in self._index:
+            self.touch(key)
+            return
+        slot = _ClockSlot(key=key)
+        self._index[key] = slot
+        self._ring.append(slot)
+
+    def touch(self, key: Hashable) -> None:
+        """Set the reference bit (page was accessed)."""
+        slot = self._index.get(key)
+        if slot is not None:
+            slot.referenced = True
+            slot.hot_score += 1
+
+    def remove(self, key: Hashable) -> None:
+        """Stop tracking a page (freed or unmapped)."""
+        slot = self._index.pop(key, None)
+        if slot is None:
+            return
+        pos = self._ring.index(slot)
+        self._ring.pop(pos)
+        if pos < self._hand:
+            self._hand -= 1
+        if self._ring:
+            self._hand %= len(self._ring)
+        else:
+            self._hand = 0
+
+    def evict(self) -> Optional[Hashable]:
+        """Run the hand until a victim with a clear reference bit is found.
+
+        Referenced pages get a second chance (bit cleared, hand moves
+        on).  Returns the victim key, removed from tracking, or None if
+        nothing is tracked.
+        """
+        if not self._ring:
+            return None
+        # At most two sweeps: the first clears bits, the second must hit.
+        for _ in range(2 * len(self._ring)):
+            slot = self._ring[self._hand]
+            if slot.referenced:
+                slot.referenced = False
+                self._hand = (self._hand + 1) % len(self._ring)
+                continue
+            victim = slot.key
+            self._ring.pop(self._hand)
+            del self._index[victim]
+            if self._ring:
+                self._hand %= len(self._ring)
+            else:
+                self._hand = 0
+            return victim
+        raise AssertionError("clock hand failed to find a victim in two sweeps")
+
+    def evict_many(self, count: int) -> list[Hashable]:
+        victims = []
+        for _ in range(count):
+            victim = self.evict()
+            if victim is None:
+                break
+            victims.append(victim)
+        return victims
+
+    def hottest(self, count: int) -> list[Hashable]:
+        """The ``count`` hottest tracked keys (for restore prefetch)."""
+        ranked = sorted(
+            self._ring,
+            key=lambda s: (s.hot_score, s.referenced),
+            reverse=True,
+        )
+        return [slot.key for slot in ranked[:count]]

@@ -1,0 +1,99 @@
+"""Physical page frames.
+
+A :class:`Page` is a 4 KiB frame.  To let the simulation host multi-GiB
+address spaces cheaply, a page stores only its *logical payload*: the
+bytes actually written, conceptually zero-padded to 4 KiB.  All
+semantics (copies, hashes for dedup, checksums on disk) operate on the
+padded content, so nothing downstream can tell the difference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.units import PAGE_SIZE
+
+#: Hash of the all-zero page, precomputed — zero pages dedup trivially.
+ZERO_PAGE_HASH = hashlib.sha1(b"").digest()
+
+
+class Page:
+    """One physical 4 KiB frame.
+
+    Attributes:
+        pfn: physical frame number, unique for the lifetime of the frame.
+        payload: written prefix/extent of the page (see module docstring).
+        frozen: set while a checkpoint owns the frame contents; any
+            write to a mapping of a frozen page must COW
+            (:mod:`repro.mem.cow`).
+        refcount: number of owners (VM objects, checkpoint buffers,
+            dedup index).  Managed by :class:`~repro.mem.phys.PhysicalMemory`.
+        dirty_epoch: checkpoint epoch in which this frame was last
+            modified; drives incremental checkpointing.
+    """
+
+    __slots__ = ("pfn", "payload", "frozen", "refcount", "dirty_epoch", "_hash")
+
+    def __init__(self, pfn: int, payload: bytes = b""):
+        if len(payload) > PAGE_SIZE:
+            raise ValueError("payload exceeds page size")
+        self.pfn = pfn
+        self.payload = payload
+        self.frozen = False
+        self.refcount = 1
+        self.dirty_epoch = 0
+        self._hash: Optional[bytes] = None
+
+    # -- content ---------------------------------------------------------
+
+    def read(self, offset: int = 0, nbytes: int | None = None) -> bytes:
+        """Read ``nbytes`` at ``offset`` within the page (zero-padded)."""
+        if nbytes is None:
+            nbytes = PAGE_SIZE - offset
+        if offset < 0 or nbytes < 0 or offset + nbytes > PAGE_SIZE:
+            raise ValueError("read beyond page bounds")
+        padded_end = offset + nbytes
+        if offset >= len(self.payload):
+            return bytes(nbytes)
+        chunk = self.payload[offset:padded_end]
+        return chunk + bytes(nbytes - len(chunk))
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Overwrite ``data`` at ``offset``.  Caller handles COW/frozen."""
+        if self.frozen:
+            raise AssertionError(
+                f"write to frozen page pfn={self.pfn}; COW layer must intervene"
+            )
+        end = offset + len(data)
+        if offset < 0 or end > PAGE_SIZE:
+            raise ValueError("write beyond page bounds")
+        if not data:
+            return
+        payload = self.payload
+        if len(payload) < end:
+            payload = payload + bytes(end - len(payload))
+        self.payload = payload[:offset] + data + payload[end:]
+        self._hash = None
+
+    def content_hash(self) -> bytes:
+        """SHA-1 of the logical (padded) content; key for deduplication.
+
+        Zero padding is normalized away: two pages with equal logical
+        bytes hash equal regardless of payload representation.
+        """
+        if self._hash is None:
+            trimmed = self.payload.rstrip(b"\x00")
+            self._hash = hashlib.sha1(trimmed).digest()
+        return self._hash
+
+    def is_zero(self) -> bool:
+        return not self.payload.rstrip(b"\x00")
+
+    def snapshot_payload(self) -> bytes:
+        """Immutable copy of the payload (bytes are immutable; direct)."""
+        return self.payload
+
+    def __repr__(self) -> str:
+        state = "frozen" if self.frozen else "live"
+        return f"<Page pfn={self.pfn} {state} ref={self.refcount} len={len(self.payload)}>"

@@ -1,0 +1,60 @@
+"""The Aurora object store: COW records, snapshots, dedup, GC, log."""
+
+from repro.objstore.alloc import Extent, ExtentAllocator
+from repro.objstore.block import Volume
+from repro.objstore.checksum import fletcher64, verify
+from repro.objstore.dedup import DedupEntry, DedupIndex, DedupStats
+from repro.objstore.gc import GarbageCollector, GcReport
+from repro.objstore.log import LogAppend, PersistentLog
+from repro.objstore.record import (
+    KIND_FILEDATA,
+    KIND_LOG,
+    KIND_MANIFEST,
+    KIND_META,
+    KIND_PAGE,
+    KIND_SUPER,
+    decode,
+    encode,
+    pack_record,
+    unpack_record,
+)
+from repro.objstore.snapshot import Snapshot, SnapshotDirectory
+from repro.objstore.store import (
+    MetaRef,
+    ObjectStore,
+    PageRef,
+    RecoveryReport,
+    StoreStats,
+)
+
+__all__ = [
+    "Extent",
+    "ExtentAllocator",
+    "Volume",
+    "fletcher64",
+    "verify",
+    "DedupEntry",
+    "DedupIndex",
+    "DedupStats",
+    "GarbageCollector",
+    "GcReport",
+    "LogAppend",
+    "PersistentLog",
+    "KIND_FILEDATA",
+    "KIND_LOG",
+    "KIND_MANIFEST",
+    "KIND_META",
+    "KIND_PAGE",
+    "KIND_SUPER",
+    "decode",
+    "encode",
+    "pack_record",
+    "unpack_record",
+    "Snapshot",
+    "SnapshotDirectory",
+    "MetaRef",
+    "ObjectStore",
+    "PageRef",
+    "RecoveryReport",
+    "StoreStats",
+]

@@ -1,0 +1,121 @@
+"""Extent allocation for the object store.
+
+A first-fit extent allocator with eager coalescing.  The COW layout
+never overwrites live data: updates allocate fresh extents and the old
+ones are freed *in place* by the garbage collector once no snapshot
+references them — "in-place garbage collection without needing to
+rewrite incremental checkpoints" (paper §3).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.errors import StoreFullError
+
+
+@dataclass(frozen=True)
+class Extent:
+    offset: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+class ExtentAllocator:
+    """First-fit allocator over [base, base+size)."""
+
+    def __init__(self, base: int, size: int):
+        if size <= 0:
+            raise ValueError("allocator size must be positive")
+        self.base = base
+        self.size = size
+        #: sorted, disjoint, coalesced free list of [offset, end) pairs
+        self._free: list[list[int]] = [[base, base + size]]
+        self.allocated_bytes = 0
+
+    @property
+    def free_bytes(self) -> int:
+        return self.size - self.allocated_bytes
+
+    def allocate(self, length: int) -> Extent:
+        if length <= 0:
+            raise ValueError("allocation length must be positive")
+        for i, (start, end) in enumerate(self._free):
+            if end - start >= length:
+                extent = Extent(offset=start, length=length)
+                if end - start == length:
+                    self._free.pop(i)
+                else:
+                    self._free[i][0] = start + length
+                self.allocated_bytes += length
+                return extent
+        raise StoreFullError(
+            f"no free extent of {length} bytes ({self.free_bytes} free, fragmented)"
+        )
+
+    def free(self, extent: Extent) -> None:
+        if extent.offset < self.base or extent.end > self.base + self.size:
+            raise ValueError(f"extent {extent} outside allocator range")
+        starts = [f[0] for f in self._free]
+        i = bisect.bisect_left(starts, extent.offset)
+        # Overlap checks against neighbours (double free detection).
+        if i > 0 and self._free[i - 1][1] > extent.offset:
+            raise ValueError(f"double free overlapping {extent}")
+        if i < len(self._free) and self._free[i][0] < extent.end:
+            raise ValueError(f"double free overlapping {extent}")
+        self._free.insert(i, [extent.offset, extent.end])
+        self.allocated_bytes -= extent.length
+        self._coalesce_around(i)
+
+    def _coalesce_around(self, i: int) -> None:
+        # Merge with successor first, then predecessor.
+        if i + 1 < len(self._free) and self._free[i][1] == self._free[i + 1][0]:
+            self._free[i][1] = self._free[i + 1][1]
+            self._free.pop(i + 1)
+        if i > 0 and self._free[i - 1][1] == self._free[i][0]:
+            self._free[i - 1][1] = self._free[i][1]
+            self._free.pop(i)
+
+    def reserve(self, extent: Extent) -> None:
+        """Carve a specific extent out of the free list (recovery path:
+        the allocator is rebuilt by reserving every extent the snapshot
+        directory references)."""
+        for i, (start, end) in enumerate(self._free):
+            if start <= extent.offset and extent.end <= end:
+                self._free.pop(i)
+                if start < extent.offset:
+                    self._free.insert(i, [start, extent.offset])
+                    i += 1
+                if extent.end < end:
+                    self._free.insert(i, [extent.end, end])
+                self.allocated_bytes += extent.length
+                return
+        raise ValueError(f"extent {extent} is not free (overlap or double reserve)")
+
+    def fragmentation(self) -> float:
+        """1 - (largest free run / total free); 0 when unfragmented."""
+        if not self._free:
+            return 0.0
+        largest = max(end - start for start, end in self._free)
+        free = self.free_bytes
+        return 0.0 if free == 0 else 1.0 - largest / free
+
+    def free_extent_count(self) -> int:
+        return len(self._free)
+
+    def check_invariants(self) -> None:
+        """Free list must stay sorted, disjoint, in-range, coalesced."""
+        prev_end = None
+        total_free = 0
+        for start, end in self._free:
+            assert start < end, "empty free extent"
+            assert start >= self.base and end <= self.base + self.size, "out of range"
+            if prev_end is not None:
+                assert start > prev_end, "free list not sorted/disjoint/coalesced"
+            prev_end = end
+            total_free += end - start
+        assert total_free == self.free_bytes, "accounting mismatch"

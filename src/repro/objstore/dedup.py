@@ -1,0 +1,88 @@
+"""Content-hash deduplication of page data.
+
+"The object store also deduplicates otherwise unrelated checkpoints on
+disk for higher storage density" (paper §2) — and §4's serverless
+story depends on it: every function instance is a small delta over the
+shared runtime image.  Pages are keyed by content hash; identical
+pages are stored once and refcounted across checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.objstore.alloc import Extent
+
+
+@dataclass
+class DedupEntry:
+    extent: Extent
+    refcount: int
+    #: times this content was written logically (hits = writes avoided)
+    hits: int = 0
+
+
+@dataclass
+class DedupStats:
+    lookups: int = 0
+    hits: int = 0
+    unique_pages: int = 0
+    bytes_deduped: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class DedupIndex:
+    """content hash -> stored extent, with refcounts."""
+
+    def __init__(self):
+        self._entries: dict[bytes, DedupEntry] = {}
+        self.stats = DedupStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, content_hash: bytes) -> DedupEntry | None:
+        self.stats.lookups += 1
+        entry = self._entries.get(content_hash)
+        if entry is not None:
+            self.stats.hits += 1
+            entry.hits += 1
+        return entry
+
+    def insert(self, content_hash: bytes, extent: Extent) -> DedupEntry:
+        if content_hash in self._entries:
+            raise AssertionError("dedup insert of existing hash")
+        entry = DedupEntry(extent=extent, refcount=0)
+        self._entries[content_hash] = entry
+        self.stats.unique_pages += 1
+        return entry
+
+    def hold(self, content_hash: bytes, nbytes: int = 0) -> None:
+        entry = self._entries[content_hash]
+        if entry.refcount > 0 and nbytes:
+            self.stats.bytes_deduped += nbytes
+        entry.refcount += 1
+
+    def release(self, content_hash: bytes) -> Extent | None:
+        """Drop one reference; returns the extent to free at zero."""
+        entry = self._entries.get(content_hash)
+        if entry is None:
+            raise KeyError(f"release of unknown hash {content_hash.hex()}")
+        if entry.refcount <= 0:
+            raise AssertionError("dedup refcount underflow")
+        entry.refcount -= 1
+        if entry.refcount == 0:
+            del self._entries[content_hash]
+            self.stats.unique_pages -= 1
+            return entry.extent
+        return None
+
+    def refcount(self, content_hash: bytes) -> int:
+        entry = self._entries.get(content_hash)
+        return entry.refcount if entry else 0
+
+    def entries(self) -> dict[bytes, DedupEntry]:
+        return dict(self._entries)

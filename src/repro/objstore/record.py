@@ -1,0 +1,211 @@
+"""On-disk record format and the metadata codec.
+
+Records are self-delimiting: a fixed header (magic, kind, object id,
+epoch, payload length, Fletcher-64 of the payload) followed by the
+payload.  Metadata payloads are encoded with a small deterministic
+binary codec (:func:`encode` / :func:`decode`) supporting the JSON-ish
+types serializers produce — dicts, lists, ints, bytes, str, bool,
+None, floats — with no pickling (checkpoints must be loadable by a
+different process safely, e.g. on ``sls recv``).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ChecksumError, ObjectStoreError
+from repro.objstore.checksum import fletcher64
+
+RECORD_MAGIC = 0x41555230  # "AUR0"
+_HEADER = struct.Struct("<IHHQQIQ")  # magic, kind, flags, oid, epoch, len, cksum
+HEADER_SIZE = _HEADER.size
+
+# record kinds
+KIND_META = 1       # serialized kernel-object metadata
+KIND_PAGE = 2       # 4 KiB page payload
+KIND_MANIFEST = 3   # checkpoint manifest
+KIND_LOG = 4        # sls_ntflush append-only log entry
+KIND_SUPER = 5      # superblock
+KIND_FILEDATA = 6   # SLSFS file extent
+
+
+@dataclass(frozen=True)
+class RecordHeader:
+    kind: int
+    oid: int
+    epoch: int
+    length: int
+    checksum: int
+    flags: int = 0
+
+
+def pack_record(kind: int, oid: int, epoch: int, payload: bytes, flags: int = 0) -> bytes:
+    header = _HEADER.pack(
+        RECORD_MAGIC, kind, flags, oid, epoch, len(payload), fletcher64(payload)
+    )
+    return header + payload
+
+
+def unpack_header(raw: bytes) -> RecordHeader:
+    if len(raw) < HEADER_SIZE:
+        raise ObjectStoreError("short record header")
+    magic, kind, flags, oid, epoch, length, checksum = _HEADER.unpack_from(raw)
+    if magic != RECORD_MAGIC:
+        raise ChecksumError(f"bad record magic {magic:#x}")
+    return RecordHeader(
+        kind=kind, oid=oid, epoch=epoch, length=length, checksum=checksum, flags=flags
+    )
+
+
+def unpack_record(raw: bytes) -> tuple[RecordHeader, bytes]:
+    header = unpack_header(raw)
+    payload = raw[HEADER_SIZE : HEADER_SIZE + header.length]
+    if len(payload) != header.length:
+        raise ChecksumError("truncated record payload")
+    if fletcher64(payload) != header.checksum:
+        raise ChecksumError(f"checksum mismatch for oid {header.oid}")
+    return header, payload
+
+
+# --- metadata codec -----------------------------------------------------------
+
+_T_NONE = b"N"
+_T_TRUE = b"T"
+_T_FALSE = b"F"
+_T_INT = b"i"
+_T_NEGINT = b"j"
+_T_FLOAT = b"f"
+_T_BYTES = b"b"
+_T_STR = b"s"
+_T_LIST = b"l"
+_T_DICT = b"d"
+
+
+def _enc_varint(value: int, out: bytearray) -> None:
+    if value < 0:
+        raise ValueError("varint must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _dec_varint(data: memoryview, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise ObjectStoreError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _encode_into(value, out: bytearray) -> None:
+    if value is None:
+        out += _T_NONE
+    elif value is True:
+        out += _T_TRUE
+    elif value is False:
+        out += _T_FALSE
+    elif isinstance(value, int):
+        if value >= 0:
+            out += _T_INT
+            _enc_varint(value, out)
+        else:
+            out += _T_NEGINT
+            _enc_varint(-value, out)
+    elif isinstance(value, float):
+        out += _T_FLOAT
+        out += struct.pack("<d", value)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        out += _T_BYTES
+        raw = bytes(value)
+        _enc_varint(len(raw), out)
+        out += raw
+    elif isinstance(value, str):
+        out += _T_STR
+        raw = value.encode("utf-8")
+        _enc_varint(len(raw), out)
+        out += raw
+    elif isinstance(value, (list, tuple)):
+        out += _T_LIST
+        _enc_varint(len(value), out)
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        out += _T_DICT
+        _enc_varint(len(value), out)
+        # Deterministic ordering: identical state encodes identically,
+        # which dedup and replication diffing rely on.
+        for key in sorted(value, key=lambda k: (str(type(k)), str(k))):
+            _encode_into(key, out)
+            _encode_into(value[key], out)
+    else:
+        raise TypeError(f"codec cannot encode {type(value).__name__}")
+
+
+def encode(value) -> bytes:
+    """Encode a metadata value deterministically."""
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _decode_at(data: memoryview, pos: int):
+    if pos >= len(data):
+        raise ObjectStoreError("truncated payload")
+    tag = data[pos : pos + 1].tobytes()
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        return _dec_varint(data, pos)
+    if tag == _T_NEGINT:
+        value, pos = _dec_varint(data, pos)
+        return -value, pos
+    if tag == _T_FLOAT:
+        (value,) = struct.unpack_from("<d", data, pos)
+        return value, pos + 8
+    if tag == _T_BYTES:
+        length, pos = _dec_varint(data, pos)
+        return bytes(data[pos : pos + length]), pos + length
+    if tag == _T_STR:
+        length, pos = _dec_varint(data, pos)
+        return bytes(data[pos : pos + length]).decode("utf-8"), pos + length
+    if tag == _T_LIST:
+        length, pos = _dec_varint(data, pos)
+        items = []
+        for _ in range(length):
+            item, pos = _decode_at(data, pos)
+            items.append(item)
+        return items, pos
+    if tag == _T_DICT:
+        length, pos = _dec_varint(data, pos)
+        result = {}
+        for _ in range(length):
+            key, pos = _decode_at(data, pos)
+            value, pos = _decode_at(data, pos)
+            result[key] = value
+        return result, pos
+    raise ObjectStoreError(f"unknown codec tag {tag!r}")
+
+
+def decode(payload: bytes):
+    """Decode a metadata value; raises on trailing garbage."""
+    value, pos = _decode_at(memoryview(payload), 0)
+    if pos != len(payload):
+        raise ObjectStoreError(f"{len(payload) - pos} trailing bytes after value")
+    return value

@@ -1,0 +1,99 @@
+"""Snapshot bookkeeping.
+
+A snapshot is a durable, named checkpoint root: it points at a
+manifest record which in turn references metadata records and page
+extents.  Snapshots share unchanged records/pages with their parents
+(the COW layout), so an incremental checkpoint's footprint is its
+delta.  Zero-copy clones (``sls restore`` into a new instance, SLSFS
+clones) are new snapshots sharing every reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.objstore.alloc import Extent
+
+
+@dataclass
+class Snapshot:
+    """One durable checkpoint root in the store directory."""
+
+    snap_id: int
+    name: str
+    epoch: int
+    created_at_ns: int
+    manifest_extent: Extent
+    parent_id: int | None = None
+    #: bytes newly written for this snapshot (delta footprint)
+    delta_bytes: int = 0
+    #: logical bytes the snapshot references (incl. shared data)
+    logical_bytes: int = 0
+
+    def directory_entry(self) -> dict:
+        """Encoding stored in the superblock's snapshot directory."""
+        return {
+            "id": self.snap_id,
+            "name": self.name,
+            "epoch": self.epoch,
+            "created_at": self.created_at_ns,
+            "manifest_off": self.manifest_extent.offset,
+            "manifest_len": self.manifest_extent.length,
+            "parent": self.parent_id,
+            "delta_bytes": self.delta_bytes,
+            "logical_bytes": self.logical_bytes,
+        }
+
+    @classmethod
+    def from_directory_entry(cls, entry: dict) -> "Snapshot":
+        return cls(
+            snap_id=entry["id"],
+            name=entry["name"],
+            epoch=entry["epoch"],
+            created_at_ns=entry["created_at"],
+            manifest_extent=Extent(entry["manifest_off"], entry["manifest_len"]),
+            parent_id=entry["parent"],
+            delta_bytes=entry.get("delta_bytes", 0),
+            logical_bytes=entry.get("logical_bytes", 0),
+        )
+
+
+@dataclass
+class SnapshotDirectory:
+    """The in-memory snapshot table mirrored into the superblock."""
+
+    snapshots: dict[int, Snapshot] = field(default_factory=dict)
+    next_id: int = 1
+
+    def add(self, snapshot: Snapshot) -> None:
+        self.snapshots[snapshot.snap_id] = snapshot
+        self.next_id = max(self.next_id, snapshot.snap_id + 1)
+
+    def remove(self, snap_id: int) -> Snapshot:
+        return self.snapshots.pop(snap_id)
+
+    def get(self, snap_id: int) -> Snapshot | None:
+        return self.snapshots.get(snap_id)
+
+    def by_name(self, name: str) -> Snapshot | None:
+        matches = [s for s in self.snapshots.values() if s.name == name]
+        if not matches:
+            return None
+        return max(matches, key=lambda s: s.snap_id)
+
+    def allocate_id(self) -> int:
+        snap_id = self.next_id
+        self.next_id += 1
+        return snap_id
+
+    def encode(self) -> list[dict]:
+        return [
+            self.snapshots[sid].directory_entry() for sid in sorted(self.snapshots)
+        ]
+
+    @classmethod
+    def decode(cls, entries: list[dict]) -> "SnapshotDirectory":
+        directory = cls()
+        for entry in entries:
+            directory.add(Snapshot.from_directory_entry(entry))
+        return directory

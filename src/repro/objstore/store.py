@@ -1,0 +1,400 @@
+"""The Aurora object store.
+
+A copy-on-write record store designed for *hundreds of snapshots per
+second* (paper §3): updates never overwrite live data, snapshots share
+unchanged records with their parents, page data is content-deduplicated
+across all checkpoints, and freed extents are reclaimed in place by the
+garbage collector without rewriting incremental history.
+
+Durability model: record writes are asynchronous (the orchestrator's
+background flush); the superblock naming a new snapshot is written
+*after* its records in device queue order, so a crash can only tear the
+not-yet-named snapshot — recovery falls back to the previous
+generation, discarding the torn checkpoint as a unit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ChecksumError, NoSuchObject, ObjectStoreError
+from repro.hw.device import StorageDevice
+from repro.mem.address_space import MemContext
+from repro.objstore.alloc import Extent, ExtentAllocator
+from repro.objstore.block import Volume
+from repro.objstore.dedup import DedupIndex
+from repro.objstore.record import (
+    HEADER_SIZE,
+    KIND_MANIFEST,
+    KIND_META,
+    KIND_PAGE,
+    decode,
+    encode,
+    pack_record,
+    unpack_record,
+)
+from repro.objstore.snapshot import Snapshot, SnapshotDirectory
+from repro.units import PAGE_SIZE
+
+#: reads of nearby extents are coalesced into one device op when the
+#: gap between them is below this (restore-path sequential-read model)
+READ_COALESCE_GAP = 64 * 1024
+
+
+@dataclass(frozen=True)
+class MetaRef:
+    """Reference to a stored metadata record."""
+
+    oid: int
+    extent: Extent
+
+
+@dataclass(frozen=True)
+class PageRef:
+    """Reference to stored (deduplicated) page content."""
+
+    content_hash: bytes
+    extent: Extent
+    length: int
+
+
+@dataclass
+class StoreStats:
+    meta_records_written: int = 0
+    pages_written: int = 0
+    pages_deduped: int = 0
+    bytes_written: int = 0
+    logical_page_bytes: int = 0
+    snapshots_committed: int = 0
+    snapshots_deleted: int = 0
+
+
+@dataclass
+class RecoveryReport:
+    snapshots_recovered: int = 0
+    snapshots_discarded: int = 0
+    generation: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+class ObjectStore:
+    """One object store on one backing device."""
+
+    def __init__(self, device: StorageDevice, mem: Optional[MemContext] = None):
+        self.device = device
+        self.volume = Volume(device)
+        self.mem = mem
+        self.allocator = ExtentAllocator(
+            base=self.volume.data_base, size=self.volume.data_size
+        )
+        self.dedup = DedupIndex()
+        self.directory = SnapshotDirectory()
+        self.stats = StoreStats()
+        #: metadata/manifest record refcounts keyed by extent offset
+        self._meta_refs: dict[int, tuple[Extent, int]] = {}
+        #: extents freed by refcount-zero, awaiting in-place GC
+        self.garbage: list[Extent] = []
+        self._bytes_since_commit = 0
+
+    # -- internals -------------------------------------------------------------
+
+    def _charge(self, ns: float) -> None:
+        if self.mem is not None:
+            self.mem.charge(ns)
+
+    def _now(self) -> int:
+        return self.device.clock.now
+
+    def _write_record(self, kind: int, oid: int, epoch: int, payload: bytes,
+                      sync: bool, logical: Optional[int] = None) -> Extent:
+        record = pack_record(kind=kind, oid=oid, epoch=epoch, payload=payload)
+        extent = self.allocator.allocate(len(record))
+        self.volume.write_data(extent.offset, record, sync=sync, logical=logical)
+        size = max(len(record), logical or 0)
+        self.stats.bytes_written += size
+        self._bytes_since_commit += size
+        return extent
+
+    def _read_record(self, extent: Extent, expect_kind: int) -> tuple[int, bytes]:
+        raw = self.volume.read_data(extent.offset, extent.length)
+        header, payload = unpack_record(raw)
+        if header.kind != expect_kind:
+            raise ObjectStoreError(
+                f"record kind {header.kind} at {extent.offset}, expected {expect_kind}"
+            )
+        return header.oid, payload
+
+    # -- metadata records -----------------------------------------------------------
+
+    def write_meta(self, oid: int, value, epoch: int = 0, sync: bool = False) -> MetaRef:
+        """Serialize ``value`` as the metadata record for kernel object ``oid``."""
+        payload = encode(value)
+        extent = self._write_record(KIND_META, oid, epoch, payload, sync)
+        self.stats.meta_records_written += 1
+        return MetaRef(oid=oid, extent=extent)
+
+    def read_meta(self, ref: MetaRef):
+        oid, payload = self._read_record(ref.extent, KIND_META)
+        if oid != ref.oid:
+            raise ObjectStoreError(f"oid mismatch: {oid} != {ref.oid}")
+        return decode(payload)
+
+    # -- page data ---------------------------------------------------------------------
+
+    @staticmethod
+    def page_hash(payload: bytes) -> bytes:
+        return hashlib.sha1(payload.rstrip(b"\x00")).digest()
+
+    def write_page(self, payload: bytes, epoch: int = 0, sync: bool = False,
+                   content_hash: Optional[bytes] = None) -> PageRef:
+        """Store page content, deduplicating by hash."""
+        if content_hash is None:
+            self._charge(self.mem.cpu.page_hash_ns if self.mem else 0)
+            content_hash = self.page_hash(payload)
+        self.stats.logical_page_bytes += max(len(payload), 1)
+        entry = self.dedup.lookup(content_hash)
+        if entry is not None:
+            self.stats.pages_deduped += 1
+            return PageRef(
+                content_hash=content_hash,
+                extent=entry.extent,
+                length=entry.extent.length - HEADER_SIZE,
+            )
+        extent = self._write_record(
+            KIND_PAGE, 0, epoch, payload, sync,
+            logical=HEADER_SIZE + PAGE_SIZE,
+        )
+        self.dedup.insert(content_hash, extent)
+        self.stats.pages_written += 1
+        return PageRef(
+            content_hash=content_hash, extent=extent, length=len(payload)
+        )
+
+    def read_page(self, ref: PageRef) -> bytes:
+        raw = self.volume.read_data(
+            ref.extent.offset, ref.extent.length,
+            logical=HEADER_SIZE + PAGE_SIZE,
+        )
+        header, payload = unpack_record(raw)
+        if header.kind != KIND_PAGE:
+            raise ObjectStoreError(f"expected page record at {ref.extent.offset}")
+        return payload
+
+    def read_pages_coalesced(self, refs: list[PageRef]) -> dict[bytes, bytes]:
+        """Bulk-read page refs with sequential-run coalescing.
+
+        Restores read whole checkpoint images; sorting the extents and
+        merging near-adjacent ones models the large sequential reads
+        the real store issues (one device op per run instead of one
+        per page).  Returns hash -> payload.
+        """
+        if not refs:
+            return {}
+        unique: dict[int, PageRef] = {r.extent.offset: r for r in refs}
+        ordered = sorted(unique.values(), key=lambda r: r.extent.offset)
+        out: dict[bytes, bytes] = {}
+        run_start = ordered[0].extent.offset
+        run_end = ordered[0].extent.end
+        run_refs = [ordered[0]]
+
+        def finish_run():
+            logical = len(run_refs) * (HEADER_SIZE + PAGE_SIZE)
+            raw = self.volume.read_data(
+                run_start, run_end - run_start, logical=logical
+            )
+            for ref in run_refs:
+                rel = ref.extent.offset - run_start
+                _, payload = unpack_record(raw[rel : rel + ref.extent.length])
+                out[ref.content_hash] = payload
+
+        for ref in ordered[1:]:
+            if ref.extent.offset - run_end <= READ_COALESCE_GAP:
+                run_end = max(run_end, ref.extent.end)
+                run_refs.append(ref)
+            else:
+                finish_run()
+                run_start, run_end, run_refs = ref.extent.offset, ref.extent.end, [ref]
+        finish_run()
+        return out
+
+    # -- snapshots -----------------------------------------------------------------------
+
+    def commit_snapshot(
+        self,
+        name: str,
+        meta,
+        records: list[MetaRef],
+        pages: list[PageRef],
+        epoch: int = 0,
+        parent_id: Optional[int] = None,
+        sync: bool = False,
+    ) -> Snapshot:
+        """Durably name a checkpoint consisting of ``records`` + ``pages``.
+
+        Reference counts are taken on every listed record and page, so
+        snapshots sharing data with a parent simply list the shared
+        refs again.  The superblock write is ordered after the data.
+        """
+        manifest_value = {
+            "meta": meta,
+            "records": [[r.oid, r.extent.offset, r.extent.length] for r in records],
+            "pages": [
+                [p.content_hash, p.extent.offset, p.extent.length, p.length]
+                for p in pages
+            ],
+        }
+        payload = encode(manifest_value)
+        manifest_extent = self._write_record(KIND_MANIFEST, 0, epoch, payload, sync)
+        snapshot = Snapshot(
+            snap_id=self.directory.allocate_id(),
+            name=name,
+            epoch=epoch,
+            created_at_ns=self._now(),
+            manifest_extent=manifest_extent,
+            parent_id=parent_id,
+            delta_bytes=self._bytes_since_commit,
+            logical_bytes=sum(p.length for p in pages),
+        )
+        self._bytes_since_commit = 0
+        # Take references.
+        self._meta_refs[manifest_extent.offset] = (manifest_extent, 1)
+        for ref in records:
+            extent, count = self._meta_refs.get(ref.extent.offset, (ref.extent, 0))
+            self._meta_refs[ref.extent.offset] = (extent, count + 1)
+        for ref in pages:
+            self.dedup.hold(ref.content_hash, nbytes=ref.length)
+        self.directory.add(snapshot)
+        self.volume.write_superblock(encode(self.directory.encode()), sync=sync)
+        self.stats.snapshots_committed += 1
+        return snapshot
+
+    def load_manifest(self, snapshot: Snapshot) -> tuple[object, list[MetaRef], list[PageRef]]:
+        _oid, payload = self._read_record(snapshot.manifest_extent, KIND_MANIFEST)
+        value = decode(payload)
+        records = [
+            MetaRef(oid=oid, extent=Extent(off, length))
+            for oid, off, length in value["records"]
+        ]
+        pages = [
+            PageRef(content_hash=h, extent=Extent(off, elen), length=plen)
+            for h, off, elen, plen in value["pages"]
+        ]
+        return value["meta"], records, pages
+
+    def delete_snapshot(self, snap_id: int, sync: bool = False) -> None:
+        snapshot = self.directory.get(snap_id)
+        if snapshot is None:
+            raise NoSuchObject(f"no snapshot {snap_id}")
+        _meta, records, pages = self.load_manifest(snapshot)
+        for ref in records:
+            self._release_meta(ref.extent)
+        for ref in pages:
+            freed = self.dedup.release(ref.content_hash)
+            if freed is not None:
+                self.garbage.append(freed)
+        self._release_meta(snapshot.manifest_extent)
+        self.directory.remove(snap_id)
+        self.volume.write_superblock(encode(self.directory.encode()), sync=sync)
+        self.stats.snapshots_deleted += 1
+
+    def _release_meta(self, extent: Extent) -> None:
+        stored = self._meta_refs.get(extent.offset)
+        if stored is None:
+            raise NoSuchObject(f"no record reference at {extent.offset}")
+        _, count = stored
+        if count <= 1:
+            del self._meta_refs[extent.offset]
+            self.garbage.append(extent)
+        else:
+            self._meta_refs[extent.offset] = (extent, count - 1)
+
+    def snapshots(self) -> list[Snapshot]:
+        return [self.directory.snapshots[s] for s in sorted(self.directory.snapshots)]
+
+    def snapshot_by_name(self, name: str) -> Optional[Snapshot]:
+        return self.directory.by_name(name)
+
+    # -- durability & recovery ---------------------------------------------------------------
+
+    def flush_barrier(self) -> int:
+        """Block (advance time) until everything written is durable."""
+        return self.volume.flush_barrier()
+
+    def physical_bytes(self) -> int:
+        """Bytes of live (referenced) data on the volume.
+
+        Page records occupy a full page plus header on the medium
+        (payloads are stored compactly in simulation; see
+        ``logical_nbytes`` in the device model).
+        """
+        meta = sum(extent.length for extent, _ in self._meta_refs.values())
+        pages = len(self.dedup.entries()) * (HEADER_SIZE + PAGE_SIZE)
+        return meta + pages
+
+    def recover(self) -> RecoveryReport:
+        """Rebuild in-memory state from the device after a crash.
+
+        Walks the newest valid superblock's snapshot directory; any
+        snapshot whose manifest or referenced records fail checksum
+        verification is discarded (a torn final checkpoint).
+        """
+        report = RecoveryReport()
+        self.allocator = ExtentAllocator(
+            base=self.volume.data_base, size=self.volume.data_size
+        )
+        self.dedup = DedupIndex()
+        self._meta_refs = {}
+        self.garbage = []
+        super_read = self.volume.read_superblock()
+        if super_read is None:
+            self.directory = SnapshotDirectory()
+            return report
+        generation, payload = super_read
+        report.generation = generation
+        directory = SnapshotDirectory.decode(decode(payload))
+        self.directory = SnapshotDirectory()
+        self.directory.next_id = directory.next_id
+        for snap_id in sorted(directory.snapshots):
+            snapshot = directory.snapshots[snap_id]
+            try:
+                self._recover_snapshot(snapshot)
+            except (ChecksumError, ObjectStoreError, ValueError) as exc:
+                report.snapshots_discarded += 1
+                report.errors.append(f"snapshot {snap_id} ({snapshot.name}): {exc}")
+                continue
+            self.directory.add(snapshot)
+            report.snapshots_recovered += 1
+        return report
+
+    def _recover_snapshot(self, snapshot: Snapshot) -> None:
+        _meta, records, pages = self.load_manifest(snapshot)
+        # Verify every record before taking any references.
+        for ref in records:
+            self._read_record(ref.extent, KIND_META)
+        for ref in pages:
+            payload = None
+            if ref.content_hash not in self.dedup.entries():
+                _oid, payload = self._read_record(ref.extent, KIND_PAGE)
+                if self.page_hash(payload) != ref.content_hash:
+                    raise ChecksumError("page content hash mismatch")
+        # References + allocator reservations.
+        self._reserve_once(snapshot.manifest_extent)
+        self._meta_refs[snapshot.manifest_extent.offset] = (snapshot.manifest_extent, 1)
+        for ref in records:
+            extent, count = self._meta_refs.get(ref.extent.offset, (ref.extent, 0))
+            if count == 0:
+                self._reserve_once(ref.extent)
+            self._meta_refs[ref.extent.offset] = (extent, count + 1)
+        for ref in pages:
+            if ref.content_hash not in self.dedup.entries():
+                self._reserve_once(ref.extent)
+                self.dedup.insert(ref.content_hash, ref.extent)
+            self.dedup.hold(ref.content_hash, nbytes=ref.length)
+
+    def _reserve_once(self, extent: Extent) -> None:
+        try:
+            self.allocator.reserve(extent)
+        except ValueError:
+            pass  # shared with an already-recovered snapshot

@@ -1,0 +1,97 @@
+"""The POSIX kernel object model: processes, FDs, vnodes, IPC, and the
+kernel facade tying them to the VM subsystem."""
+
+from repro.posix.fd import (
+    O_APPEND,
+    O_CLOEXEC,
+    O_CREAT,
+    O_EXCL,
+    O_NONBLOCK,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    FdEntry,
+    FdTable,
+    OpenFile,
+)
+from repro.posix.kernel import Container, Kernel
+from repro.posix.msgqueue import Message, MessageQueue, MessageQueueRegistry
+from repro.posix.objects import KernelObject, ObjectRegistry
+from repro.posix.pipe import Pipe, PipeEnd, make_pipe
+from repro.posix.scheduler import Scheduler
+from repro.posix.process import (
+    CpuState,
+    Process,
+    ProcessState,
+    ProcessTable,
+    Thread,
+    ThreadState,
+)
+from repro.posix.shm import SharedMemoryRegistry, SharedMemorySegment
+from repro.posix.signals import SIG_DFL, SIG_IGN, SignalState
+from repro.posix.socket import (
+    ExtConsHold,
+    SocketFile,
+    UnixSocket,
+    UnixSocketNamespace,
+    socketpair,
+)
+from repro.posix.syscalls import Syscalls
+from repro.posix.vnode import (
+    FileSystem,
+    TmpFS,
+    VfsNamespace,
+    Vnode,
+    VnodeFile,
+    VnodeType,
+)
+
+__all__ = [
+    "O_APPEND",
+    "O_CLOEXEC",
+    "O_CREAT",
+    "O_EXCL",
+    "O_NONBLOCK",
+    "O_RDONLY",
+    "O_RDWR",
+    "O_TRUNC",
+    "O_WRONLY",
+    "FdEntry",
+    "FdTable",
+    "OpenFile",
+    "Container",
+    "Kernel",
+    "Message",
+    "MessageQueue",
+    "MessageQueueRegistry",
+    "KernelObject",
+    "ObjectRegistry",
+    "Scheduler",
+    "Pipe",
+    "PipeEnd",
+    "make_pipe",
+    "CpuState",
+    "Process",
+    "ProcessState",
+    "ProcessTable",
+    "Thread",
+    "ThreadState",
+    "SharedMemoryRegistry",
+    "SharedMemorySegment",
+    "SIG_DFL",
+    "SIG_IGN",
+    "SignalState",
+    "ExtConsHold",
+    "SocketFile",
+    "UnixSocket",
+    "UnixSocketNamespace",
+    "socketpair",
+    "Syscalls",
+    "FileSystem",
+    "TmpFS",
+    "VfsNamespace",
+    "Vnode",
+    "VnodeFile",
+    "VnodeType",
+]

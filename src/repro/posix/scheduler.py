@@ -1,0 +1,124 @@
+"""A cooperative round-robin scheduler.
+
+Simulated programs register *step* callbacks; :meth:`Scheduler.run_for`
+interleaves them with the kernel's background events (checkpoint
+flushes, periodic checkpoints), charging each step's compute time to
+the virtual clock.  Steps of stopped processes are skipped — which is
+how a serialization barrier actually pauses the application here — so
+workloads visibly "keep running while Aurora flushes in the
+background", and stop for exactly the barrier window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import PosixError
+from repro.posix.kernel import Kernel
+from repro.posix.process import Process
+from repro.units import USEC
+
+#: a step returns False to deschedule itself (program finished)
+StepFn = Callable[[], Optional[bool]]
+
+
+@dataclass
+class _Task:
+    proc: Process
+    step: StepFn
+    slice_ns: int
+    steps_run: int = 0
+    finished: bool = False
+
+
+class Scheduler:
+    """Round-robin over registered process steps."""
+
+    DEFAULT_SLICE_NS = 100 * USEC
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self._queue: deque[_Task] = deque()
+        self.steps_total = 0
+        self.steps_skipped_stopped = 0
+
+    def register(self, proc: Process, step: StepFn,
+                 slice_ns: int = DEFAULT_SLICE_NS) -> _Task:
+        """Schedule ``step`` to run whenever ``proc`` gets CPU time."""
+        if not proc.is_alive():
+            raise PosixError(f"pid {proc.pid} is not alive", errno="ESRCH")
+        task = _Task(proc=proc, step=step, slice_ns=slice_ns)
+        self._queue.append(task)
+        return task
+
+    def deschedule(self, proc: Process) -> int:
+        """Remove every task of ``proc``; returns how many."""
+        before = len(self._queue)
+        self._queue = deque(t for t in self._queue if t.proc is not proc)
+        return before - len(self._queue)
+
+    @property
+    def runnable(self) -> int:
+        return sum(1 for t in self._queue if not t.finished)
+
+    def run_for(self, ns: int) -> int:
+        """Advance ``ns`` of virtual time, interleaving steps + events.
+
+        Each round-robin turn: dispatch any due background events, then
+        give the next runnable task one time slice.  A task whose
+        process is stopped (barrier) or dead is skipped/retired.
+        Returns the number of steps executed.
+        """
+        kernel = self.kernel
+        deadline = kernel.clock.now + ns
+        executed = 0
+        idle_spins = 0
+        while kernel.clock.now < deadline:
+            kernel.events.run_until(
+                min(deadline, kernel.clock.now)
+            )
+            task = self._next_task()
+            if task is None:
+                # Nothing runnable: fast-forward to the next event (or
+                # the deadline).
+                when = kernel.events.next_deadline()
+                kernel.events.run_until(
+                    min(deadline, when) if when is not None else deadline
+                )
+                idle_spins += 1
+                if idle_spins > 3 and (when is None or when > deadline):
+                    kernel.clock.advance_to(deadline)
+                    break
+                continue
+            idle_spins = 0
+            start = kernel.clock.now
+            result = task.step()
+            task.steps_run += 1
+            self.steps_total += 1
+            executed += 1
+            if result is False:
+                task.finished = True
+            # Charge the remainder of the slice if the step was cheap.
+            used = kernel.clock.now - start
+            if used < task.slice_ns:
+                kernel.clock.advance(task.slice_ns - used)
+        return executed
+
+    def _next_task(self) -> Optional[_Task]:
+        """Rotate to the next runnable task, retiring dead ones."""
+        for _ in range(len(self._queue)):
+            task = self._queue[0]
+            self._queue.rotate(-1)
+            if task.finished or not task.proc.is_alive():
+                try:
+                    self._queue.remove(task)
+                except ValueError:
+                    pass
+                continue
+            if task.proc.state.value == "stopped":
+                self.steps_skipped_stopped += 1
+                continue
+            return task
+        return None

@@ -1,0 +1,83 @@
+"""Per-process signal state.
+
+Signals are part of the OS state a checkpoint must carry: a process
+with a pending ``SIGUSR1`` before the crash must see it after restore.
+Handlers are symbolic (named dispositions) since simulated programs are
+Python objects, not machine code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SIGHUP = 1
+SIGINT = 2
+SIGQUIT = 3
+SIGKILL = 9
+SIGUSR1 = 10
+SIGSEGV = 11
+SIGUSR2 = 12
+SIGPIPE = 13
+SIGTERM = 15
+SIGCHLD = 20
+SIGSTOP = 17
+SIGCONT = 19
+
+_VALID_SIGNALS = frozenset(range(1, 32))
+
+#: dispositions
+SIG_DFL = "default"
+SIG_IGN = "ignore"
+
+
+@dataclass
+class SignalState:
+    """Pending set, mask, and handler table for one process."""
+
+    pending: list[int] = field(default_factory=list)
+    blocked: set[int] = field(default_factory=set)
+    #: signal number -> SIG_DFL / SIG_IGN / handler name
+    handlers: dict[int, str] = field(default_factory=dict)
+
+    def send(self, signo: int) -> None:
+        if signo not in _VALID_SIGNALS:
+            raise ValueError(f"invalid signal {signo}")
+        if signo not in self.pending:
+            self.pending.append(signo)
+
+    def deliverable(self) -> list[int]:
+        """Pending signals not blocked, in arrival order."""
+        return [s for s in self.pending if s not in self.blocked]
+
+    def take(self) -> int | None:
+        """Dequeue the next deliverable signal, or None."""
+        for signo in self.pending:
+            if signo not in self.blocked:
+                self.pending.remove(signo)
+                return signo
+        return None
+
+    def set_handler(self, signo: int, disposition: str) -> None:
+        if signo in (SIGKILL, SIGSTOP):
+            raise ValueError(f"signal {signo} cannot be caught")
+        if signo not in _VALID_SIGNALS:
+            raise ValueError(f"invalid signal {signo}")
+        self.handlers[signo] = disposition
+
+    def disposition(self, signo: int) -> str:
+        return self.handlers.get(signo, SIG_DFL)
+
+    def block(self, signo: int) -> None:
+        if signo in (SIGKILL, SIGSTOP):
+            raise ValueError(f"signal {signo} cannot be blocked")
+        self.blocked.add(signo)
+
+    def unblock(self, signo: int) -> None:
+        self.blocked.discard(signo)
+
+    def copy(self) -> "SignalState":
+        return SignalState(
+            pending=list(self.pending),
+            blocked=set(self.blocked),
+            handlers=dict(self.handlers),
+        )

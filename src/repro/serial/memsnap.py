@@ -1,0 +1,256 @@
+"""Memory serialization: VM objects, map entries, and page capture.
+
+The metadata side (structure: objects, shadow links, map entries) is
+cheap and goes into the checkpoint manifest; the data side (page
+content) is captured from a :class:`~repro.mem.cow.FreezeSet` either
+into the object store (disk/NVDIMM backends, deduplicated) or kept as
+frozen frames (memory backend — zero copies, shared with the app).
+
+On restore "Aurora faithfully reproduces the entire memory hierarchy
+to preserve page deduplication": shadow chains and sharing are rebuilt
+exactly, not flattened.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import RestoreError
+from repro.mem.address_space import AddressSpace, VMEntry
+from repro.mem.cow import FreezeSet
+from repro.mem.page import Page
+from repro.mem.vmobject import ObjectKind, VMObject
+from repro.objstore.store import ObjectStore, PageRef
+from repro.serial.registry import RestoreContext, SerialContext
+
+#: oid -> {pindex -> PageRef} (disk image) or {pindex -> Page} (memory image)
+PageMap = dict[int, dict[int, object]]
+
+
+def serialize_vm_objects(objects: list[VMObject], ctx: SerialContext) -> list[dict]:
+    """Record VM object structure (chains serialized bottom-up)."""
+    out: list[dict] = []
+    emitted: set[int] = set()
+
+    def emit(obj: VMObject) -> None:
+        if obj.oid in emitted:
+            return
+        if obj.shadow is not None:
+            emit(obj.shadow)
+        emitted.add(obj.oid)
+        ctx.objects_serialized += 1
+        out.append(
+            {
+                "oid": obj.oid,
+                "size_pages": obj.size_pages,
+                "kind": obj.kind.value,
+                "shadow_oid": obj.shadow.oid if obj.shadow else None,
+                "shadow_offset": obj.shadow_offset,
+                "name": obj.name,
+                "swap_slots": dict(obj.swap_slots),
+                "resident": sorted(obj.pages),
+            }
+        )
+
+    for obj in objects:
+        emit(obj)
+    return out
+
+
+def restore_vm_objects(
+    entries: list[dict], ctx: RestoreContext
+) -> dict[int, VMObject]:
+    """Recreate VM objects preserving the shadow hierarchy."""
+    for data in entries:
+        shadow = None
+        if data["shadow_oid"] is not None:
+            shadow = ctx.vm_objects.get(data["shadow_oid"])
+            if shadow is None:
+                raise RestoreError(
+                    f"object {data['oid']} restored before its shadow"
+                )
+        obj = VMObject(
+            phys=ctx.kernel.phys,
+            size_pages=data["size_pages"],
+            kind=ObjectKind(data["kind"]),
+            shadow=shadow,
+            shadow_offset=data["shadow_offset"],
+            name=data["name"],
+        )
+        ctx.vm_objects[data["oid"]] = obj
+        ctx.objects_restored += 1
+    return ctx.vm_objects
+
+
+def serialize_entries(aspace: AddressSpace, ctx: SerialContext) -> list[dict]:
+    out = []
+    for entry in aspace.entries:
+        ctx.objects_serialized += 1
+        out.append(
+            {
+                "start": entry.start,
+                "end": entry.end,
+                "oid": entry.obj.oid,
+                "offset_pages": entry.offset_pages,
+                "prot": entry.prot,
+                "shared": entry.shared,
+                "name": entry.name,
+                "sls_exclude": entry.sls_exclude,
+                "restore_hint": entry.restore_hint,
+            }
+        )
+    return out
+
+
+def restore_entries(
+    aspace: AddressSpace, entries: list[dict], ctx: RestoreContext
+) -> list[VMEntry]:
+    from repro.units import PAGE_SHIFT
+
+    restored = []
+    for data in entries:
+        obj = ctx.vm_objects.get(data["oid"])
+        if obj is None:
+            raise RestoreError(f"map entry references missing VM object {data['oid']}")
+        entry = aspace.mmap(
+            length=data["end"] - data["start"],
+            prot=data["prot"],
+            shared=data["shared"],
+            obj=obj,
+            offset=data["offset_pages"] << PAGE_SHIFT,
+            addr=data["start"],
+            name=data["name"],
+        )
+        entry.sls_exclude = data.get("sls_exclude", False)
+        entry.restore_hint = data.get("restore_hint", "")
+        ctx.entries_restored += 1
+        restored.append(entry)
+    return restored
+
+
+# --- page capture (checkpoint data plane) ------------------------------------------
+
+
+def capture_pages_to_store(
+    freeze_set: FreezeSet,
+    store: ObjectStore,
+    base_map: Optional[PageMap] = None,
+) -> tuple[PageMap, list[PageRef]]:
+    """Write a freeze set's pages to the object store (deduplicated).
+
+    ``base_map`` is the parent checkpoint's page map; incremental
+    checkpoints overlay their dirty pages onto it, so the returned map
+    is always complete.  Returns (page map, all refs for the manifest).
+    """
+    page_map: PageMap = {}
+    if base_map:
+        for oid, pages in base_map.items():
+            page_map[oid] = dict(pages)
+    for frozen in freeze_set.pages:
+        ref = store.write_page(
+            frozen.page.snapshot_payload(),
+            epoch=freeze_set.epoch,
+            content_hash=frozen.page.content_hash(),
+        )
+        page_map.setdefault(frozen.obj.oid, {})[frozen.pindex] = ref
+    all_refs = [ref for pages in page_map.values() for ref in pages.values()]
+    return page_map, all_refs
+
+
+def capture_swapped_to_store(
+    objects: list[VMObject],
+    store: ObjectStore,
+    swap,
+    page_map: PageMap,
+    force: Optional[set] = None,
+) -> list[PageRef]:
+    """Incorporate swapped-out pages into the checkpoint (paper §3:
+    pages evicted under memory pressure join the next checkpoint).
+
+    A slot already covered by an inherited ref is skipped *unless* it
+    is in ``force`` — the freeze pass flags slots that were dirtied
+    this interval and then evicted, whose inherited copy is stale.
+    """
+    force = force or set()
+    new_refs = []
+    for obj in objects:
+        for pindex in sorted(obj.swap_slots):
+            existing = page_map.get(obj.oid, {}).get(pindex)
+            if isinstance(existing, PageRef) and (obj.oid, pindex) not in force:
+                continue  # unchanged since it was last captured
+            payload = swap.read_slot(obj, pindex)
+            ref = store.write_page(payload)
+            page_map.setdefault(obj.oid, {})[pindex] = ref
+            new_refs.append(ref)
+    return new_refs
+
+
+def capture_pages_to_memory(
+    freeze_set: FreezeSet, base_map: Optional[PageMap] = None
+) -> tuple[PageMap, set]:
+    """Memory-backend capture: the image *is* the frozen frames.
+
+    No bytes are copied; the freeze pass already holds a reference per
+    frame.  For frames carried over from the parent image an extra
+    hold is taken so each image owns its references independently.
+    """
+    page_map: PageMap = {}
+    if base_map:
+        for oid, pages in base_map.items():
+            page_map[oid] = dict(pages)
+    captured = set()
+    for frozen in freeze_set.pages:
+        page_map.setdefault(frozen.obj.oid, {})[frozen.pindex] = frozen.page
+        captured.add((frozen.obj.oid, frozen.pindex))
+    return page_map, captured
+
+
+# --- page installation (restore data plane) -----------------------------------------
+
+
+def install_memory_pages(
+    obj: VMObject, pages: dict[int, Page], phys
+) -> int:
+    """Share image frames into a restored object (no copy; COW).
+
+    Frames stay frozen: the restored application's first write to any
+    of them COW-faults, exactly as the paper describes sharing between
+    the image and the running application.
+    """
+    installed = 0
+    for pindex, page in pages.items():
+        phys.hold(page)
+        page.frozen = True
+        old = obj.pages.get(pindex)
+        if old is not None:
+            phys.release(old)
+        obj.pages[pindex] = page
+        installed += 1
+    return installed
+
+
+def install_store_pages(
+    obj: VMObject, payloads: dict[int, bytes], phys, mem
+) -> int:
+    """Eagerly materialize page content read from the store."""
+    installed = 0
+    for pindex, payload in payloads.items():
+        page = phys.allocate(payload=payload)
+        page.frozen = True  # shared with the image; first write COWs
+        obj.insert_page(pindex, page)
+        installed += 1
+    return installed
+
+
+def make_store_pager(
+    store: ObjectStore, refs: dict[int, PageRef], mem
+):
+    """Lazy-restore pager: fault page content in from the object store."""
+
+    def pager(pindex: int) -> Optional[bytes]:
+        ref = refs.get(pindex)
+        if ref is None:
+            return None
+        return store.read_page(ref)
+
+    return pager

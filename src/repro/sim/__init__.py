@@ -1,0 +1,14 @@
+"""Simulation substrate: virtual time, deferred events, seeded randomness."""
+
+from repro.sim.clock import ClockRegion, SimClock
+from repro.sim.event import EventHandle, EventQueue
+from repro.sim.rng import RngFactory, zipf_sampler
+
+__all__ = [
+    "ClockRegion",
+    "SimClock",
+    "EventHandle",
+    "EventQueue",
+    "RngFactory",
+    "zipf_sampler",
+]

@@ -1,0 +1,113 @@
+"""A small discrete-event queue driven by :class:`~repro.sim.clock.SimClock`.
+
+The SLS orchestrator flushes checkpoint data *asynchronously*: the
+application resumes while the flusher writes to the backend.  We model
+that with events scheduled at future virtual times — the background
+flusher schedules its completion, and the benchmark harness can run the
+queue forward to ask "when did the data actually become durable?".
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    when: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventQueue.schedule`; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    @property
+    def when(self) -> int:
+        return self._event.when
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of callbacks keyed by virtual time.
+
+    Ties are broken by scheduling order, so the simulation is fully
+    deterministic.
+    """
+
+    def __init__(self, clock: SimClock):
+        self.clock = clock
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule(self, when: int, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` when the queue is advanced past time ``when``."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event at {when} before now={self.clock.now}"
+            )
+        event = _ScheduledEvent(when=when, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_after(self, delay: int, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` after ``delay`` ns of virtual time."""
+        return self.schedule(self.clock.now + delay, callback)
+
+    def next_deadline(self) -> int | None:
+        """Virtual time of the earliest pending event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].when if self._heap else None
+
+    def run_until(self, deadline: int) -> int:
+        """Dispatch every event due at or before ``deadline``.
+
+        The clock is advanced to each event's time as it fires and to
+        ``deadline`` at the end.  Returns the number of callbacks run.
+        """
+        fired = 0
+        while True:
+            when = self.next_deadline()
+            if when is None or when > deadline:
+                break
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            event.callback()
+            fired += 1
+        self.clock.advance_to(deadline)
+        return fired
+
+    def drain(self) -> int:
+        """Dispatch every pending event, advancing time as needed.
+
+        Callbacks may schedule further events; those run too.  Returns
+        the number of callbacks run.
+        """
+        fired = 0
+        while True:
+            when = self.next_deadline()
+            if when is None:
+                return fired
+            fired += self.run_until(when)

@@ -1,0 +1,19 @@
+"""The Aurora file system: a POSIX file API into the object store."""
+
+from repro.slsfs.anonfile import OrphanTable
+from repro.slsfs.fs import ROOT_INO, Inode, SlsFS
+from repro.slsfs.snapshot import (
+    ContainerSnapshot,
+    clone_container,
+    snapshot_container,
+)
+
+__all__ = [
+    "OrphanTable",
+    "ROOT_INO",
+    "Inode",
+    "SlsFS",
+    "ContainerSnapshot",
+    "clone_container",
+    "snapshot_container",
+]

@@ -1,0 +1,83 @@
+"""Size and time units used throughout the simulation.
+
+All simulated time is kept in integer **nanoseconds** and all sizes in
+integer **bytes**; these helpers exist so call sites read like the
+paper ("2 GiB working set", "10 µs latency") instead of raw powers of
+two and ten.
+"""
+
+from __future__ import annotations
+
+# --- sizes -----------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: The simulated architecture uses 4 KiB base pages, like amd64 FreeBSD.
+PAGE_SIZE = 4 * KIB
+PAGE_SHIFT = 12
+PAGE_MASK = PAGE_SIZE - 1
+
+# --- times (integer nanoseconds) --------------------------------------------
+
+NSEC = 1
+USEC = 1_000
+MSEC = 1_000_000
+SEC = 1_000_000_000
+
+
+def pages(nbytes: int) -> int:
+    """Number of whole pages covering ``nbytes`` (round up)."""
+    return (nbytes + PAGE_MASK) >> PAGE_SHIFT
+
+
+def page_align_down(addr: int) -> int:
+    """Round ``addr`` down to a page boundary."""
+    return addr & ~PAGE_MASK
+
+
+def page_align_up(addr: int) -> int:
+    """Round ``addr`` up to a page boundary."""
+    return (addr + PAGE_MASK) & ~PAGE_MASK
+
+
+def is_page_aligned(addr: int) -> bool:
+    return (addr & PAGE_MASK) == 0
+
+
+def fmt_size(nbytes: int) -> str:
+    """Human-readable size, binary units: ``fmt_size(2*GIB) == '2.0 GiB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(ns: int) -> str:
+    """Human-readable duration: ``fmt_time(5_413_800) == '5413.8 us'``.
+
+    Durations are reported in the unit the paper uses for the same
+    magnitude (µs for checkpoint/restore costs, ms and s above that).
+    """
+    if ns < USEC:
+        return f"{ns} ns"
+    if ns < 10 * MSEC:
+        return f"{ns / USEC:.1f} us"
+    if ns < 10 * SEC:
+        return f"{ns / MSEC:.1f} ms"
+    return f"{ns / SEC:.2f} s"
+
+
+def transfer_ns(nbytes: int, bytes_per_sec: float) -> int:
+    """Time to move ``nbytes`` at a sustained bandwidth, in ns (round up)."""
+    if nbytes <= 0:
+        return 0
+    if bytes_per_sec <= 0:
+        raise ValueError("bandwidth must be positive")
+    exact = nbytes * SEC / bytes_per_sec
+    return int(exact) + (0 if exact == int(exact) else 1)

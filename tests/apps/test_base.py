@@ -1,0 +1,61 @@
+"""Tests for the SimApp base and browser helpers."""
+
+import pytest
+
+from repro.apps.base import SimApp
+from repro.core.orchestrator import SLS
+from repro.posix.kernel import Kernel
+from repro.units import GIB
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(memory_bytes=4 * GIB)
+
+
+class TestSimApp:
+    def test_boot_layout_segments(self, kernel):
+        app = SimApp(kernel, "prog")
+        names = [e.name for e in app.proc.aspace.entries]
+        for expected in ("text", "rodata", "data", "bss", "libc", "stack"):
+            assert expected in names
+
+    def test_boot_layout_partially_resident(self, kernel):
+        app = SimApp(kernel, "prog")
+        assert app.proc.aspace.resident_pages() > 10
+
+    def test_no_boot_variant(self, kernel):
+        app = SimApp(kernel, "bare", boot=False)
+        assert app.proc.aspace.entries == []
+
+    def test_entry_lookup(self, kernel):
+        app = SimApp(kernel, "prog")
+        assert app.entry("text").name == "text"
+        with pytest.raises(KeyError):
+            app.entry("nonexistent")
+
+    def test_compute_charges_clock(self, kernel):
+        app = SimApp(kernel, "prog")
+        before = kernel.clock.now
+        app.compute(12_345)
+        assert kernel.clock.now == before + 12_345
+
+    def test_attach_api(self, kernel):
+        sls = SLS(kernel)
+        app = SimApp(kernel, "prog")
+        api = app.attach_api(sls)
+        assert app.api is api
+        assert api.proc is app.proc
+
+    def test_container_placement(self, kernel):
+        box = kernel.create_container("jail")
+        app = SimApp(kernel, "jailed", container=box)
+        assert app.proc.container_id == box.cid
+
+    def test_text_is_readonly(self, kernel):
+        from repro.errors import SegmentationFault
+
+        app = SimApp(kernel, "prog")
+        text = app.entry("text")
+        with pytest.raises(SegmentationFault):
+            app.sys.poke(text.start, b"self-modifying")

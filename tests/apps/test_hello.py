@@ -1,0 +1,51 @@
+"""Unit tests for the hello-world (serverless) app."""
+
+import pytest
+
+from repro.apps.hello import HelloWorldApp
+from repro.posix.kernel import Kernel
+from repro.units import GIB
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(memory_bytes=4 * GIB)
+
+
+class TestHelloWorld:
+    def test_initialize_builds_warm_state(self, kernel):
+        app = HelloWorldApp(kernel)
+        before = app.resident_pages()
+        app.initialize()
+        assert app.resident_pages() > before + 150
+
+    def test_invoke_produces_greeting(self, kernel):
+        app = HelloWorldApp(kernel)
+        app.initialize()
+        assert app.invoke(b"aurora") == b"hello, aurora"
+        assert app.invocations == 1
+
+    def test_invoke_before_init_rejected(self, kernel):
+        app = HelloWorldApp(kernel)
+        with pytest.raises(RuntimeError):
+            app.invoke()
+
+    def test_repeated_invocations(self, kernel):
+        app = HelloWorldApp(kernel)
+        app.initialize()
+        for i in range(10):
+            assert app.invoke(b"r%d" % i) == b"hello, r%d" % i
+        assert app.invocations == 10
+
+    def test_invocation_charges_compute(self, kernel):
+        app = HelloWorldApp(kernel)
+        app.initialize()
+        before = kernel.clock.now
+        app.invoke()
+        assert kernel.clock.now - before >= app.INVOKE_COMPUTE_NS
+
+    def test_image_sized_for_table4(self, kernel):
+        """The serverless rows of Table 4 assume a ~210-page image."""
+        app = HelloWorldApp(kernel)
+        app.initialize()
+        assert 180 <= app.resident_pages() <= 260

@@ -1,0 +1,239 @@
+"""Tests for the §4 use cases: serverless, debugging, RR, speculation."""
+
+import pytest
+
+from repro.apps.browser import BrowserApp
+from repro.apps.debugger import TimeTravelDebugger
+from repro.apps.hello import HelloWorldApp
+from repro.apps.recordreplay import CheckpointedRecorder
+from repro.apps.serverless import ServerlessManager
+from repro.apps.speculation import SpeculativeClient
+from repro.core.backends import MemoryBackend, make_disk_backend
+from repro.core.orchestrator import SLS
+from repro.core.rollback import ROLLBACK_SIGNAL
+from repro.hw.nvme import NvmeDevice
+from repro.posix.kernel import Kernel
+from repro.posix.syscalls import Syscalls
+from repro.units import GIB, KIB, MSEC
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(memory_bytes=8 * GIB)
+
+
+@pytest.fixture
+def sls(kernel):
+    return SLS(kernel)
+
+
+@pytest.fixture
+def disk(kernel):
+    return make_disk_backend(kernel, NvmeDevice(kernel.clock))
+
+
+class TestServerless:
+    def test_deploy_and_invoke(self, kernel, sls, disk):
+        manager = ServerlessManager(sls)
+        deployed = manager.deploy("fn-alpha", customize=b"alpha", backend=disk)
+        assert deployed.delta_pages > 0
+        result = manager.invoke("fn-alpha", payload=b"request")
+        assert result.output == b"hello, request"
+        assert result.restore.total_ns < 1_000_000  # sub-millisecond
+
+    def test_invocations_are_isolated_instances(self, kernel, sls, disk):
+        manager = ServerlessManager(sls)
+        manager.deploy("fn", backend=disk)
+        a = manager.invoke("fn", payload=b"one", keep_instance=True)
+        b = manager.invoke("fn", payload=b"two", keep_instance=True)
+        assert manager.functions["fn"].invocations == 2
+
+    def test_dedup_density_grows_sublinearly(self, kernel, sls, disk):
+        """Each function is a small delta over the shared runtime."""
+        manager = ServerlessManager(sls)
+        first = manager.deploy("fn-0", customize=b"0", backend=disk)
+        store = disk.store
+        bytes_after_first = store.physical_bytes()
+        for i in range(1, 4):
+            manager.deploy(f"fn-{i}", customize=b"%d" % i)
+        report = manager.density_report()
+        assert report["functions"] == 4
+        # Physical growth per extra function is a fraction of the first.
+        growth = report["physical_bytes"] - bytes_after_first
+        assert growth < bytes_after_first
+        assert report["dedup_ratio"] > 1.5
+
+    def test_lazy_invoke_faults_less_upfront(self, kernel, sls, disk):
+        manager = ServerlessManager(sls)
+        manager.deploy("fn", backend=disk)
+        lazy = manager.invoke("fn", lazy=True)
+        eager = manager.invoke("fn", lazy=False)
+        assert lazy.restore.pages_installed < eager.restore.pages_installed
+
+    def test_duplicate_deploy_rejected(self, kernel, sls, disk):
+        from repro.errors import SlsError
+
+        manager = ServerlessManager(sls)
+        manager.deploy("fn", backend=disk)
+        with pytest.raises(SlsError):
+            manager.deploy("fn")
+
+
+class TestBrowser:
+    def test_multiprocess_shared_memory(self, kernel):
+        browser = BrowserApp(kernel, content_processes=3)
+        browser.render_frame(1)
+        assert browser.content_view(0, 7) == b"frame:1"
+        assert browser.content_view(2, 7) == b"frame:1"
+
+    def test_ipc_roundtrip(self, kernel):
+        browser = BrowserApp(kernel, content_processes=2)
+        assert browser.message_child(1, b"navigate") == b"ack:navigate"
+
+    def test_checkpoint_restore_preserves_sharing(self, kernel, sls, disk):
+        """The Firefox claim: a restored multi-process app still shares."""
+        browser = BrowserApp(kernel, content_processes=2)
+        browser.render_frame(7)
+        group = sls.persist(browser.proc, name="firefox")
+        group.attach(disk)
+        image = sls.checkpoint(group)
+        sls.barrier(group)
+        procs, _ = sls.restore(image, new_instance=True, name_suffix="-r")
+        chrome, c1, c2 = procs
+        # Writing through the restored chrome is seen by restored
+        # content processes: the shm object is still one object.
+        Syscalls(kernel, chrome).poke(browser.shm_addr, b"frame:8")
+        assert Syscalls(kernel, c1).peek(browser.shm_addr, 7) == b"frame:8"
+        assert Syscalls(kernel, c2).peek(browser.shm_addr, 7) == b"frame:8"
+
+
+class TestTimeTravelDebugger:
+    @pytest.fixture
+    def world(self, kernel, sls):
+        app = HelloWorldApp(kernel)
+        app.initialize()
+        counter = app.sys.mmap(4 * KIB, name="counter")
+        group = sls.persist(app.proc, name="hello")
+        group.attach(MemoryBackend("memory"))
+        history_values = []
+        for i in range(6):
+            app.sys.poke(counter.start, b"%02d" % i)
+            sls.checkpoint(group)
+            history_values.append(i)
+        return app, group, counter, history_values
+
+    def test_history_inspection(self, kernel, sls, world):
+        app, group, counter, _ = world
+        ttd = TimeTravelDebugger(sls, group)
+        session = ttd.inspect(2)
+        assert session.read_memory(counter.start, 2) == b"02"
+        session.close()
+
+    def test_inspection_does_not_disturb_live_app(self, kernel, sls, world):
+        app, group, counter, _ = world
+        ttd = TimeTravelDebugger(sls, group)
+        session = ttd.inspect(0)
+        session.syscalls().poke(counter.start, b"XX")
+        session.close()
+        assert app.sys.peek(counter.start, 2) == b"05"
+
+    def test_bisect_finds_first_bad_checkpoint(self, kernel, sls, world):
+        app, group, counter, _ = world
+        ttd = TimeTravelDebugger(sls, group)
+
+        def invariant(session):
+            return int(session.read_memory(counter.start, 2)) < 3
+
+        culprit = ttd.bisect(invariant)
+        assert culprit is group.images[3]
+
+    def test_bisect_none_when_invariant_holds(self, kernel, sls, world):
+        app, group, counter, _ = world
+        ttd = TimeTravelDebugger(sls, group)
+        assert ttd.bisect(lambda s: True) is None
+
+    def test_shake_reproduces_deterministically(self, kernel, sls, world):
+        app, group, counter, _ = world
+        ttd = TimeTravelDebugger(sls, group)
+        hits = ttd.shake(
+            4, attempts=3,
+            probe=lambda s: s.read_memory(counter.start, 2) == b"04",
+        )
+        assert hits == 3
+
+
+class TestRecordReplay:
+    def test_log_bounded_by_checkpoints(self, kernel, sls, disk):
+        app = HelloWorldApp(kernel)
+        app.initialize()
+        group = sls.persist(app.proc, name="hello")
+        group.attach(disk)
+
+        state = []
+
+        def apply_input(procs, payload):
+            state.append(payload)
+
+        recorder = CheckpointedRecorder(sls, group, apply_input)
+        for i in range(5):
+            recorder.feed(b"input-%d" % i)
+        assert recorder.log_bytes() > 0
+        dropped = recorder.checkpoint()
+        assert dropped == 5
+        assert recorder.log == []
+        recorder.feed(b"tail-input")
+        assert recorder.stats.max_log_len == 5
+
+    def test_recover_replays_tail(self, kernel, sls, disk):
+        app = HelloWorldApp(kernel)
+        app.initialize()
+        counter = app.sys.mmap(4 * KIB, name="state")
+        app.sys.poke(counter.start, b"0")
+        group = sls.persist(app.proc, name="hello")
+        group.attach(disk)
+
+        def apply_input(procs, payload):
+            sys = Syscalls(kernel, procs[0])
+            current = int(sys.peek(counter.start, 4).rstrip(b"\x00") or b"0")
+            sys.poke(counter.start, b"%d" % (current + int(payload)))
+
+        recorder = CheckpointedRecorder(sls, group, apply_input)
+        recorder.feed(b"5")
+        recorder.checkpoint()       # state=5 checkpointed
+        recorder.feed(b"3")         # state=8, only in the log
+        procs = recorder.recover()  # rollback to 5, replay +3
+        got = Syscalls(kernel, procs[0]).peek(counter.start, 1)
+        assert got == b"8"
+        assert recorder.stats.replays == 1
+
+
+class TestSpeculation:
+    def test_commit_path_saves_time(self, kernel, sls, disk):
+        client = SpeculativeClient(kernel, sls)
+        client.persist(disk)
+        client.speculative_send(b"payload")
+        client.outcome(acked=True)
+        assert client.stats.commits == 1
+        assert client.stats.time_saved_ns == client.RTT_NS
+        assert client.state() == b"done\x00"
+
+    def test_failed_speculation_rolls_back(self, kernel, sls, disk):
+        client = SpeculativeClient(kernel, sls)
+        client.persist(disk)
+        client.speculative_send(b"payload")
+        assert client.state()[:5] == b"sent:"
+        client.outcome(acked=False)
+        # Rolled back to the pre-send state and notified.
+        assert client.state() == b"idle\x00"
+        assert client.stats.rollbacks == 1
+        assert client.saw_rollback_signal()
+
+    def test_speculation_cycles(self, kernel, sls, disk):
+        client = SpeculativeClient(kernel, sls)
+        client.persist(disk)
+        outcomes = [True, False, True, False, False]
+        for acked in outcomes:
+            client.speculative_send(b"x")
+            client.outcome(acked=acked)
+        assert client.stats.commits == 2
+        assert client.stats.rollbacks == 3

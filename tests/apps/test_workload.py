@@ -1,0 +1,73 @@
+"""Tests for the YCSB-style workload generator."""
+
+import pytest
+
+from repro.apps.kvstore import RedisLikeServer
+from repro.apps.workload import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_INGEST,
+    KvWorkload,
+    WorkloadSpec,
+)
+from repro.posix.kernel import Kernel
+from repro.units import GIB, MIB
+
+
+@pytest.fixture
+def server():
+    kernel = Kernel(memory_bytes=4 * GIB)
+    srv = RedisLikeServer(kernel, working_set=4 * MIB)
+    srv.load_dataset()
+    return srv
+
+
+class TestWorkload:
+    def test_mix_respected(self, server):
+        workload = KvWorkload(server, WORKLOAD_B, seed=7)
+        stats = workload.run_ops(2000)
+        read_fraction = stats.reads / stats.operations
+        assert 0.92 < read_fraction < 0.98
+
+    def test_read_only_never_dirties(self, server):
+        workload = KvWorkload(server, WORKLOAD_C, seed=7)
+        stats = workload.run_ops(500)
+        assert stats.writes == 0
+        assert not stats.dirty_slots
+
+    def test_ingest_all_writes(self, server):
+        workload = KvWorkload(server, WORKLOAD_INGEST, seed=7)
+        stats = workload.run_ops(500)
+        assert stats.reads == 0
+        assert stats.writes == 500
+
+    def test_zipf_skew_concentrates_dirty_set(self, server):
+        """Skewed writes dirty far fewer distinct slots than uniform."""
+        skewed = KvWorkload(server, WorkloadSpec("skew", 0.0, 1.2), seed=7)
+        uniform = KvWorkload(server, WorkloadSpec("flat", 0.0, 0.0), seed=7)
+        s_dirty = len(skewed.run_ops(800).dirty_slots)
+        u_dirty = len(uniform.run_ops(800).dirty_slots)
+        assert s_dirty < u_dirty / 2
+
+    def test_deterministic(self, server):
+        a = KvWorkload(server, WORKLOAD_A, seed=42).run_ops(300)
+        kernel2 = Kernel(memory_bytes=4 * GIB)
+        server2 = RedisLikeServer(kernel2, working_set=4 * MIB)
+        server2.load_dataset()
+        b = KvWorkload(server2, WORKLOAD_A, seed=42).run_ops(300)
+        assert a.reads == b.reads
+        assert a.dirty_slots == b.dirty_slots
+
+    def test_interval_reset(self, server):
+        workload = KvWorkload(server, WORKLOAD_INGEST, seed=7)
+        workload.run_ops(100)
+        dirtied = workload.stats.reset_interval()
+        assert dirtied > 0
+        assert not workload.stats.dirty_slots
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("bad", read_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec("bad", zipf_skew=-1)

@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backends import MemoryBackend, make_disk_backend
+from repro.core.orchestrator import SLS
+from repro.hw.nvme import NvmeDevice
+from repro.mem.address_space import AddressSpace, MemContext
+from repro.mem.cow import AuroraCow
+from repro.mem.phys import PhysicalMemory
+from repro.objstore.store import ObjectStore
+from repro.posix.kernel import Kernel
+from repro.posix.syscalls import Syscalls
+from repro.sim.clock import SimClock
+from repro.units import GIB, MIB
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory(total_bytes=4 * GIB)
+
+
+@pytest.fixture
+def mem(clock, phys):
+    return MemContext(clock, phys)
+
+
+@pytest.fixture
+def cow(mem):
+    return AuroraCow(mem)
+
+
+@pytest.fixture
+def aspace(mem, cow):
+    return AddressSpace(mem, "test")
+
+
+@pytest.fixture
+def nvme(clock):
+    return NvmeDevice(clock)
+
+
+@pytest.fixture
+def store(nvme):
+    return ObjectStore(nvme)
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(memory_bytes=8 * GIB)
+
+
+@pytest.fixture
+def sls(kernel):
+    return SLS(kernel)
+
+
+@pytest.fixture
+def disk_backend(kernel):
+    return make_disk_backend(kernel, NvmeDevice(kernel.clock))
+
+
+@pytest.fixture
+def memory_backend():
+    return MemoryBackend("memory")
+
+
+@pytest.fixture
+def app_proc(kernel):
+    """A process with a small populated heap, ready to checkpoint."""
+    proc = kernel.spawn("app")
+    sys = Syscalls(kernel, proc)
+    entry = sys.mmap(2 * MIB, name="heap")
+    sys.populate(entry.start, 2 * MIB, fill_fn=lambda i: b"page-%d" % i)
+    proc.heap_start = entry.start  # test convenience
+    return proc

@@ -1,0 +1,138 @@
+"""Direct tests for the backend implementations."""
+
+import pytest
+
+from repro.core.backends import (
+    DiskBackend,
+    MemoryBackend,
+    NvdimmBackend,
+    RemoteBackend,
+    make_disk_backend,
+)
+from repro.core.orchestrator import SLS
+from repro.hw.netdev import NetworkLink
+from repro.hw.nvdimm import NvdimmDevice
+from repro.hw.nvme import NvmeDevice
+from repro.objstore.store import ObjectStore
+from repro.posix.kernel import Kernel
+from repro.posix.syscalls import Syscalls
+from repro.units import GIB, KIB, PAGE_SIZE
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(memory_bytes=4 * GIB)
+
+
+@pytest.fixture
+def sls(kernel):
+    return SLS(kernel)
+
+
+@pytest.fixture
+def world(kernel, sls):
+    proc = kernel.spawn("app")
+    sys = Syscalls(kernel, proc)
+    entry = sys.mmap(16 * PAGE_SIZE, name="heap")
+    sys.populate(entry.start, 16 * PAGE_SIZE, fill_fn=lambda i: b"pg%d" % i)
+    group = sls.persist(proc, name="app")
+    return proc, sys, entry, group
+
+
+class TestNvdimmBackend:
+    def test_checkpoint_durable_sooner_than_nvme(self, kernel, sls, world):
+        proc, sys, entry, group = world
+        nvme = make_disk_backend(kernel, NvmeDevice(kernel.clock), name="nvme")
+        nvdimm = NvdimmBackend(
+            "nvdimm", ObjectStore(NvdimmDevice(kernel.clock), mem=kernel.mem)
+        )
+        group.attach(nvme)
+        group.attach(nvdimm)
+        image = sls.checkpoint(group)
+        # NVDIMM's sub-µs latency drains first.
+        first_durable = None
+        guard = 0
+        while not image.durable and guard < 10_000:
+            deadline = kernel.events.next_deadline()
+            if deadline is None:
+                break
+            kernel.events.run_until(deadline)
+            if image.durable_on and first_durable is None:
+                first_durable = next(iter(image.durable_on))
+            guard += 1
+        assert first_durable == "nvdimm"
+        assert image.durable_on == {"nvme", "nvdimm"}
+
+    def test_restorable_from_nvdimm(self, kernel, sls, world):
+        proc, sys, entry, group = world
+        nvdimm = NvdimmBackend(
+            "nvdimm", ObjectStore(NvdimmDevice(kernel.clock), mem=kernel.mem)
+        )
+        group.attach(nvdimm)
+        image = sls.checkpoint(group)
+        sls.barrier(group)
+        procs, metrics = sls.restore(image, backend_name="nvdimm",
+                                     new_instance=True, name_suffix="-n")
+        assert metrics.backend == "nvdimm"
+        got = Syscalls(kernel, procs[0]).peek(entry.start + PAGE_SIZE, 3)
+        assert got == b"pg1"
+
+
+class TestMemoryBackendFrames:
+    def test_holds_frames_flag(self):
+        assert MemoryBackend("m").holds_frames
+        store = ObjectStore(NvmeDevice(Kernel().clock))
+        assert not DiskBackend("d", store).holds_frames
+
+    def test_image_deletion_releases_frames(self, kernel, sls, world):
+        proc, sys, entry, group = world
+        group.attach(MemoryBackend("memory"))
+        sls.checkpoint(group)
+        frames_with_image = kernel.phys.allocated_frames
+        # Overwrite everything so the image holds sole refs to originals.
+        for i in range(16):
+            sys.poke(entry.start + i * PAGE_SIZE, b"new%d" % i)
+        group.retention = 1
+        sls.checkpoint(group, full=True)  # prunes the first image
+        assert kernel.phys.allocated_frames < frames_with_image + 16
+
+    def test_parent_deletion_keeps_child_frames_alive(self, kernel, sls, world):
+        """Each memory image holds its own frame references, so
+        deleting the parent cannot free frames the child inherited."""
+        proc, sys, entry, group = world
+        memory = MemoryBackend("memory")
+        group.attach(memory)
+        parent = sls.checkpoint(group)           # full
+        sys.poke(entry.start, b"delta")
+        child = sls.checkpoint(group)            # incremental, inherits
+        memory.delete_image(parent)
+        page = child.memory_pages[entry.obj.oid][3]
+        assert page.refcount > 0
+        assert page.read(0, 3) == b"pg3"
+        memory.delete_image(child)               # no double free
+
+
+class TestRemoteBackendOrdering:
+    def test_durability_matches_network_arrival(self, kernel, sls, world):
+        proc, sys, entry, group = world
+        link = NetworkLink(kernel.clock)
+        src = link.attach("src")
+        link.attach("dst")
+        remote = RemoteBackend("replica", src, "dst")
+        group.attach(remote)
+        image = sls.checkpoint(group)
+        assert not image.durable
+        when = sls.barrier(group)
+        assert image.durable
+        assert when >= link.spec.latency_ns
+
+    def test_bytes_accounted(self, kernel, sls, world):
+        proc, sys, entry, group = world
+        link = NetworkLink(kernel.clock)
+        src = link.attach("src")
+        link.attach("dst")
+        remote = RemoteBackend("replica", src, "dst")
+        group.attach(remote)
+        image = sls.checkpoint(group)
+        assert remote.bytes_sent > 0
+        assert image.metrics.bytes_flushed == remote.bytes_sent

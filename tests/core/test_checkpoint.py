@@ -1,0 +1,273 @@
+"""Tests for the orchestrator: barriers, full/incremental checkpoints."""
+
+import pytest
+
+from repro.core.backends import MemoryBackend, make_disk_backend
+from repro.core.orchestrator import SLS
+from repro.errors import BackendError, CheckpointError
+from repro.hw.nvme import NvmeDevice
+from repro.posix.kernel import Kernel
+from repro.posix.process import ProcessState
+from repro.posix.syscalls import Syscalls
+from repro.units import GIB, MIB, MSEC, PAGE_SIZE
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(memory_bytes=8 * GIB)
+
+
+@pytest.fixture
+def sls(kernel):
+    return SLS(kernel)
+
+
+@pytest.fixture
+def world(kernel, sls):
+    proc = kernel.spawn("app")
+    sys = Syscalls(kernel, proc)
+    entry = sys.mmap(2 * MIB, name="heap")
+    sys.populate(entry.start, 2 * MIB, fill_fn=lambda i: b"pg%d" % i)
+    group = sls.persist(proc, name="app")
+    group.attach(make_disk_backend(kernel, NvmeDevice(kernel.clock)))
+    return proc, sys, entry, group
+
+
+class TestPersist:
+    def test_persist_process_tree(self, kernel, sls):
+        proc = kernel.spawn("app")
+        group = sls.persist(proc, name="app")
+        assert group.member_pids() == {proc.pid}
+        assert sls.group_of(proc) is group
+
+    def test_persist_container(self, kernel, sls):
+        box = kernel.create_container("jail")
+        a = kernel.spawn("a", container=box)
+        b = kernel.spawn("b", container=box)
+        group = sls.persist(box)
+        assert group.member_pids() == {a.pid, b.pid}
+
+    def test_children_join_group_automatically(self, kernel, sls):
+        proc = kernel.spawn("app")
+        group = sls.persist(proc)
+        child = kernel.fork(proc)
+        assert child.pid in group.member_pids()
+
+    def test_persist_invalid_target(self, sls):
+        from repro.errors import NotPersisted
+
+        with pytest.raises(NotPersisted):
+            sls.persist("not-a-process")
+
+    def test_unpersist(self, kernel, sls):
+        proc = kernel.spawn("app")
+        group = sls.persist(proc)
+        sls.unpersist(group)
+        assert sls.group_of(proc) is None
+
+    def test_persist_host_excludes_containers(self, kernel, sls):
+        """"The host and each container have their own persistence
+        group." — host processes and jailed processes separate."""
+        host_daemon = kernel.spawn("syslogd")
+        box = kernel.create_container("jail")
+        inmate = kernel.spawn("service", container=box)
+        host_group = sls.persist_host()
+        jail_group = sls.persist(box, name="jail")
+        assert host_daemon.pid in host_group.member_pids()
+        assert inmate.pid not in host_group.member_pids()
+        assert inmate.pid in jail_group.member_pids()
+        # Idempotent.
+        assert sls.persist_host() is host_group
+
+
+class TestCheckpointBarrier:
+    def test_requires_backend(self, kernel, sls):
+        proc = kernel.spawn("app")
+        group = sls.persist(proc)
+        with pytest.raises(BackendError):
+            sls.checkpoint(group)
+
+    def test_requires_live_processes(self, kernel, sls, disk_backend):
+        proc = kernel.spawn("app")
+        group = sls.persist(proc)
+        group.attach(disk_backend)
+        kernel.exit(proc)
+        with pytest.raises(CheckpointError):
+            sls.checkpoint(group)
+
+    def test_processes_resumed_after_checkpoint(self, world, sls):
+        proc, _, _, group = world
+        sls.checkpoint(group)
+        assert proc.state is ProcessState.ALIVE
+
+    def test_first_checkpoint_is_full(self, world, sls):
+        _, _, _, group = world
+        image = sls.checkpoint(group)
+        assert not image.incremental
+        assert image.metrics.pages_captured >= 512
+
+    def test_second_checkpoint_is_incremental(self, world, sls):
+        _, sys, entry, group = world
+        sls.checkpoint(group)
+        sys.poke(entry.start, b"dirty")
+        image = sls.checkpoint(group)
+        assert image.incremental
+        assert image.metrics.pages_captured == 1
+
+    def test_forced_full(self, world, sls):
+        _, _, _, group = world
+        sls.checkpoint(group)
+        image = sls.checkpoint(group, full=True)
+        assert not image.incremental
+
+    def test_stop_time_is_metadata_plus_data(self, world, sls):
+        _, _, _, group = world
+        metrics = sls.checkpoint(group).metrics
+        assert metrics.stop_time_ns >= (
+            metrics.metadata_copy_ns + metrics.data_copy_ns
+        )
+        # The pause/resume overhead is small.
+        slack = metrics.stop_time_ns - metrics.metadata_copy_ns - metrics.data_copy_ns
+        assert slack < 50_000
+
+    def test_incremental_metadata_cost_similar(self, world, sls):
+        _, sys, entry, group = world
+        full = sls.checkpoint(group).metrics
+        sys.poke(entry.start, b"x")
+        incr = sls.checkpoint(group).metrics
+        assert incr.metadata_copy_ns < full.metadata_copy_ns
+        assert incr.metadata_copy_ns > 0.7 * full.metadata_copy_ns
+
+    def test_incremental_data_copy_much_cheaper(self, world, sls):
+        _, sys, entry, group = world
+        full = sls.checkpoint(group).metrics
+        for i in range(51):  # ~10% of 512 pages
+            sys.poke(entry.start + i * PAGE_SIZE, b"dirty")
+        incr = sls.checkpoint(group).metrics
+        assert incr.data_copy_ns < full.data_copy_ns / 5
+
+
+class TestAsyncFlush:
+    def test_image_not_durable_immediately(self, world, sls):
+        _, _, _, group = world
+        image = sls.checkpoint(group)
+        assert not image.durable
+
+    def test_barrier_waits_for_durability(self, world, sls, kernel):
+        _, _, _, group = world
+        image = sls.checkpoint(group)
+        sls.barrier(group)
+        assert image.durable
+        assert image.metrics.durable_at_ns >= image.metrics.started_at_ns
+
+    def test_flush_lag_positive_for_disk(self, world, sls):
+        _, _, _, group = world
+        image = sls.checkpoint(group)
+        sls.barrier(group)
+        assert image.metrics.flush_lag_ns > 0
+
+    def test_memory_backend_durable_instantly(self, kernel, sls):
+        proc = kernel.spawn("app")
+        sys = Syscalls(kernel, proc)
+        entry = sys.mmap(64 * 1024)
+        sys.poke(entry.start, b"x")
+        group = sls.persist(proc)
+        group.attach(MemoryBackend("memory"))
+        image = sls.checkpoint(group)
+        assert image.durable
+
+    def test_multi_backend_needs_all(self, world, sls, kernel):
+        _, _, _, group = world
+        group.attach(MemoryBackend("memory"))
+        image = sls.checkpoint(group)
+        assert "memory" in image.durable_on
+        assert not image.durable  # disk still flushing
+        sls.barrier(group)
+        assert image.durable
+
+
+class TestHistoryRetention:
+    def test_history_accumulates(self, world, sls):
+        _, sys, entry, group = world
+        for i in range(5):
+            sys.poke(entry.start, b"gen%d" % i)
+            sls.checkpoint(group)
+        assert len(group.images) == 5
+
+    def test_retention_prunes_whole_chains(self, world, sls):
+        _, sys, entry, group = world
+        group.retention = 3
+        store = group.store_backends()[0].store
+        for i in range(6):
+            sys.poke(entry.start, b"gen%d" % i)
+            sls.checkpoint(group)
+        # Chain-aware pruning: exceeding retention forces a
+        # consolidating full checkpoint (#5), then drops the old chain
+        # (#1-#4) at once: 6 checkpoints -> [full#5, incr#6].
+        assert len(group.images) == 2
+        assert not group.images[0].incremental
+        assert store.stats.snapshots_deleted == 4
+
+    def test_pruning_never_strands_incrementals(self, world, sls):
+        """Every retained image keeps its full ancestor: reboot-safe."""
+        _, sys, entry, group = world
+        group.retention = 3
+        for i in range(10):
+            sys.poke(entry.start, b"gen%d" % i)
+            sls.checkpoint(group)
+        assert not group.images[0].incremental
+
+    def test_pruned_history_leaves_restorable_images(self, world, sls, kernel):
+        _, sys, entry, group = world
+        group.retention = 2
+        for i in range(5):
+            sys.poke(entry.start, b"gen%d" % i)
+            sls.checkpoint(group)
+        sls.barrier(group)
+        procs, _ = sls.restore(
+            group.latest_image, new_instance=True, name_suffix="-r"
+        )
+        got = Syscalls(kernel, procs[0]).peek(entry.start, 4)
+        assert got == b"gen4"
+
+
+class TestPeriodicCheckpointing:
+    def test_auto_checkpoint_at_period(self, kernel, sls, disk_backend):
+        proc = kernel.spawn("app")
+        sys = Syscalls(kernel, proc)
+        entry = sys.mmap(64 * 1024)
+        sys.poke(entry.start, b"x")
+        group = sls.persist(proc, period_ns=10 * MSEC, auto_checkpoint=True)
+        group.attach(disk_backend)
+        kernel.run_for(105 * MSEC)
+        # ~10 ticks in 105 ms ("persisted 100x per second").
+        assert 8 <= group.stats.checkpoints_taken <= 11
+
+    def test_stop_periodic(self, kernel, sls, disk_backend):
+        proc = kernel.spawn("app")
+        Syscalls(kernel, proc).mmap(64 * 1024)
+        group = sls.persist(proc, period_ns=10 * MSEC, auto_checkpoint=True)
+        group.attach(disk_backend)
+        kernel.run_for(25 * MSEC)
+        taken = group.stats.checkpoints_taken
+        sls.stop_periodic(group)
+        kernel.run_for(50 * MSEC)
+        assert group.stats.checkpoints_taken == taken
+
+
+class TestMctlExclusion:
+    def test_excluded_region_not_captured(self, kernel, sls, disk_backend):
+        from repro.core.api import AuroraApi
+
+        proc = kernel.spawn("app")
+        sys = Syscalls(kernel, proc)
+        keep = sys.mmap(8 * PAGE_SIZE, name="keep")
+        scratch = sys.mmap(8 * PAGE_SIZE, name="scratch")
+        sys.populate(keep.start, 8 * PAGE_SIZE, fill=b"k")
+        sys.populate(scratch.start, 8 * PAGE_SIZE, fill=b"s")
+        group = sls.persist(proc)
+        group.attach(disk_backend)
+        api = AuroraApi(sls, proc)
+        api.sls_mctl(scratch.start, 8 * PAGE_SIZE, include=False)
+        image = sls.checkpoint(group)
+        assert image.metrics.pages_captured == 8

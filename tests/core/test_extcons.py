@@ -1,0 +1,148 @@
+"""Tests for external consistency (paper §3.2)."""
+
+import pytest
+
+from repro.core.api import AuroraApi
+from repro.core.backends import make_disk_backend
+from repro.core.orchestrator import SLS
+from repro.errors import WouldBlock
+from repro.hw.nvme import NvmeDevice
+from repro.posix.kernel import Kernel
+from repro.posix.syscalls import Syscalls
+from repro.units import GIB, KIB
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(memory_bytes=4 * GIB)
+
+
+@pytest.fixture
+def sls(kernel):
+    return SLS(kernel)
+
+
+@pytest.fixture
+def world(kernel, sls):
+    """A persisted server connected to an external client."""
+    server = kernel.spawn("server")
+    client = kernel.spawn("client")  # outside the group
+    ssys, csys = Syscalls(kernel, server), Syscalls(kernel, client)
+    entry = ssys.mmap(64 * KIB, name="heap")
+    ssys.poke(entry.start, b"state")
+    lfd = ssys.bind_listen("svc")
+    cfd = csys.connect("svc")
+    sfd = ssys.accept(lfd)
+    group = sls.persist(server, name="server")
+    group.attach(make_disk_backend(kernel, NvmeDevice(kernel.clock)))
+    group.extcons.refresh()
+    return server, client, ssys, csys, sfd, cfd, group
+
+
+class TestBoundaryDetection:
+    def test_cross_boundary_socket_held(self, world):
+        *_, group = world
+        assert group.extcons.held_sockets() == 1
+
+    def test_intra_group_socket_not_held(self, kernel, sls, disk_backend):
+        proc = kernel.spawn("app")
+        sys = Syscalls(kernel, proc)
+        a, b = sys.socketpair()  # both ends inside the group
+        group = sls.persist(proc)
+        group.attach(disk_backend)
+        group.extcons.refresh()
+        assert group.extcons.held_sockets() == 0
+        sys.write(a, b"direct")
+        assert sys.read(b, 6) == b"direct"
+
+
+class TestHoldRelease:
+    def test_output_invisible_until_checkpoint_durable(self, world, sls):
+        server, client, ssys, csys, sfd, cfd, group = world
+        ssys.write(sfd, b"reply-1")
+        with pytest.raises(WouldBlock):
+            csys.read(cfd, 7)
+        sls.checkpoint(group)
+        sls.barrier(group)
+        assert csys.read(cfd, 7) == b"reply-1"
+
+    def test_post_barrier_output_held_for_next_checkpoint(self, world, sls):
+        server, client, ssys, csys, sfd, cfd, group = world
+        ssys.write(sfd, b"covered")
+        sls.checkpoint(group)
+        ssys.write(sfd, b"not-yet")  # sent after the barrier
+        sls.barrier(group)
+        assert csys.read(cfd, 7) == b"covered"
+        with pytest.raises(WouldBlock):
+            csys.read(cfd, 7)
+        sls.checkpoint(group)
+        sls.barrier(group)
+        assert csys.read(cfd, 7) == b"not-yet"
+
+    def test_inbound_data_unaffected(self, world):
+        server, client, ssys, csys, sfd, cfd, group = world
+        csys.write(cfd, b"request")
+        assert ssys.read(sfd, 7) == b"request"
+
+
+class TestFdctl:
+    def test_disable_releases_immediately(self, world, sls):
+        server, client, ssys, csys, sfd, cfd, group = world
+        api = AuroraApi(sls, server)
+        api.sls_fdctl(sfd, external_consistency=False)
+        ssys.write(sfd, b"fast-path")
+        assert csys.read(cfd, 9) == b"fast-path"
+
+    def test_disable_flushes_already_held(self, world, sls):
+        server, client, ssys, csys, sfd, cfd, group = world
+        ssys.write(sfd, b"was-held")
+        api = AuroraApi(sls, server)
+        api.sls_fdctl(sfd, external_consistency=False)
+        assert csys.read(cfd, 8) == b"was-held"
+
+    def test_reenable(self, world, sls):
+        server, client, ssys, csys, sfd, cfd, group = world
+        api = AuroraApi(sls, server)
+        api.sls_fdctl(sfd, external_consistency=False)
+        api.sls_fdctl(sfd, external_consistency=True)
+        ssys.write(sfd, b"held-again")
+        with pytest.raises(WouldBlock):
+            csys.read(cfd, 10)
+
+    def test_fdctl_non_socket_rejected(self, world, sls):
+        from repro.errors import SlsError
+
+        server, *_ = world
+        api = AuroraApi(sls, server)
+        ssys = Syscalls(sls.kernel, server)
+        r, _w = ssys.pipe()
+        with pytest.raises(SlsError):
+            api.sls_fdctl(r, external_consistency=False)
+
+
+class TestRollbackDiscard:
+    def test_rollback_discards_held_output(self, world, sls):
+        from repro.core.rollback import rollback
+
+        server, client, ssys, csys, sfd, cfd, group = world
+        sls.checkpoint(group)
+        sls.barrier(group)
+        ssys.write(sfd, b"speculative-output")
+        rollback(sls, group)
+        # The client must never see output from the destroyed timeline.
+        with pytest.raises(WouldBlock):
+            csys.read(cfd, 18)
+        assert group.extcons.bytes_discarded == 18
+
+    def test_latency_cost_of_extcons(self, world, sls, kernel):
+        """Held replies arrive only after flush: extcons trades latency
+        for safety (why sls_fdctl exists)."""
+        server, client, ssys, csys, sfd, cfd, group = world
+        sent_at = kernel.clock.now
+        ssys.write(sfd, b"reply")
+        sls.checkpoint(group)
+        sls.barrier(group)
+        received_at = kernel.clock.now
+        csys.read(cfd, 5)
+        held_latency = received_at - sent_at
+        assert held_latency > 100_000  # flush-bound, not send-bound

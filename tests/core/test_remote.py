@@ -1,0 +1,173 @@
+"""Tests for send/recv, continuous replication, and live migration."""
+
+import pytest
+
+from repro.core.backends import RemoteBackend, make_disk_backend
+from repro.core.orchestrator import SLS
+from repro.core.remote import (
+    MigrationReceiver,
+    export_image,
+    live_migrate,
+    sls_send,
+)
+from repro.hw.netdev import NetworkLink
+from repro.hw.nvme import NvmeDevice
+from repro.objstore.record import decode
+from repro.objstore.store import ObjectStore
+from repro.posix.kernel import Kernel
+from repro.posix.syscalls import Syscalls
+from repro.units import GIB, KIB, PAGE_SIZE
+
+
+@pytest.fixture
+def hosts():
+    """Two kernels sharing one clock, connected by 10 GbE."""
+    src = Kernel(hostname="src", memory_bytes=4 * GIB)
+    dst = Kernel(hostname="dst", memory_bytes=4 * GIB, clock=src.clock)
+    src_sls, dst_sls = SLS(src), SLS(dst)
+    link = NetworkLink(src.clock)
+    src_ep, dst_ep = link.attach("src"), link.attach("dst")
+    dst_store = ObjectStore(NvmeDevice(src.clock, name="dst-nvme"), mem=dst.mem)
+    receiver = MigrationReceiver(dst_sls, dst_store, dst_ep)
+    return src, dst, src_sls, dst_sls, src_ep, receiver
+
+
+@pytest.fixture
+def app(hosts):
+    src, *_ , = hosts
+    src_sls = hosts[2]
+    proc = src.spawn("app")
+    sys = Syscalls(src, proc)
+    entry = sys.mmap(64 * KIB, name="heap")
+    sys.populate(entry.start, 64 * KIB, fill_fn=lambda i: b"pg-%d" % i)
+    group = src_sls.persist(proc, name="app")
+    group.attach(make_disk_backend(src, NvmeDevice(src.clock)))
+    return proc, sys, entry, group
+
+
+class TestSendRecv:
+    def test_image_transfers_and_restores(self, hosts, app):
+        src, dst, src_sls, dst_sls, src_ep, receiver = hosts
+        proc, sys, entry, group = app
+        image = src_sls.checkpoint(group)
+        src_sls.barrier(group)
+        store = group.store_backends()[0].store
+        sls_send(image, src_ep, "dst", store=store)
+        ready = receiver.pump(wait=True)
+        assert ready == ["app"]
+        procs, metrics = receiver.restore("app")
+        rsys = Syscalls(dst, procs[0])
+        assert rsys.peek(entry.start + 3 * PAGE_SIZE, 4) == b"pg-3"
+        assert metrics.objstore_read_ns > 0
+
+    def test_export_is_self_contained(self, hosts, app):
+        src, dst, src_sls, *_ = hosts
+        proc, sys, entry, group = app
+        image = src_sls.checkpoint(group)
+        store = group.store_backends()[0].store
+        blob = export_image(image, store)
+        value = decode(blob)
+        assert value["kind"] == "image"
+        assert value["meta"]["procs"][0]["name"] == "app"
+        assert len(value["pages"]) == image.metrics.pages_captured
+
+    def test_recv_without_send_fails(self, hosts):
+        from repro.errors import MigrationError
+
+        *_, receiver = hosts
+        with pytest.raises(MigrationError):
+            receiver.restore("ghost")
+
+    def test_export_to_file_and_import(self, hosts, app, tmp_path):
+        """'pipe a single checkpoint to a file to give to another
+        user' — export, write to disk, import on another machine."""
+        from repro.core.remote import export_image, import_image
+
+        src, dst, src_sls, dst_sls, src_ep, receiver = hosts
+        proc, sys, entry, group = app
+        image = src_sls.checkpoint(group)
+        src_sls.barrier(group)
+        blob = export_image(image, group.store_backends()[0].store)
+        path = tmp_path / "app.aurora"
+        path.write_bytes(blob)
+
+        imported = import_image(path.read_bytes(), receiver.store)
+        procs, _ = dst_sls.restore(
+            imported, backend_name="import", store=receiver.store,
+            new_instance=True,
+        )
+        got = Syscalls(dst, procs[0]).peek(entry.start + PAGE_SIZE, 4)
+        assert got == b"pg-1"
+
+    def test_import_garbage_rejected(self, hosts):
+        from repro.core.remote import import_image
+        from repro.errors import MigrationError
+        from repro.objstore.record import encode
+
+        *_, receiver = hosts
+        with pytest.raises(MigrationError):
+            import_image(encode({"kind": "not-an-image"}), receiver.store)
+
+
+class TestContinuousReplication:
+    def test_remote_backend_ships_every_delta(self, hosts, app):
+        src, dst, src_sls, dst_sls, src_ep, receiver = hosts
+        proc, sys, entry, group = app
+        remote = RemoteBackend("replica", src_ep, "dst")
+        group.attach(remote)
+        src_sls.checkpoint(group)
+        sys.poke(entry.start, b"delta-1")
+        src_sls.checkpoint(group)
+        src_sls.barrier(group)
+        receiver.pump(wait=True)
+        assert remote.images_sent == 2
+        # The receiver has assembled a complete image (full + delta).
+        procs, _ = receiver.restore("app", new_instance=True)
+        rsys = Syscalls(dst, procs[0])
+        assert rsys.peek(entry.start, 7) == b"delta-1"
+        assert rsys.peek(entry.start + PAGE_SIZE, 4) == b"pg-1"
+
+    def test_replication_durability_is_arrival(self, hosts, app):
+        src, dst, src_sls, dst_sls, src_ep, receiver = hosts
+        proc, sys, entry, group = app
+        group.detach("disk0")
+        remote = RemoteBackend("replica", src_ep, "dst")
+        group.attach(remote)
+        image = src_sls.checkpoint(group)
+        assert not image.durable
+        src_sls.barrier(group)
+        assert image.durable
+
+
+class TestLiveMigration:
+    def test_migrate_moves_application(self, hosts, app):
+        src, dst, src_sls, dst_sls, src_ep, receiver = hosts
+        proc, sys, entry, group = app
+        old_pid = proc.pid
+        restored, report = live_migrate(
+            src_sls, group, receiver, src_ep, "dst", rounds=3
+        )
+        # Source torn down, target running the app.
+        assert src.procs.get(old_pid) is None
+        rsys = Syscalls(dst, restored[0])
+        assert rsys.peek(entry.start + 2 * PAGE_SIZE, 4) == b"pg-2"
+        assert report.rounds >= 2
+        assert report.bytes_shipped > 0
+
+    def test_migration_downtime_smaller_than_total(self, hosts, app):
+        src, dst, src_sls, dst_sls, src_ep, receiver = hosts
+        proc, sys, entry, group = app
+        restored, report = live_migrate(
+            src_sls, group, receiver, src_ep, "dst", rounds=3
+        )
+        assert 0 < report.downtime_ns < report.total_ns
+
+    def test_migrated_app_keeps_running(self, hosts, app):
+        src, dst, src_sls, dst_sls, src_ep, receiver = hosts
+        proc, sys, entry, group = app
+        restored, _ = live_migrate(
+            src_sls, group, receiver, src_ep, "dst", rounds=2
+        )
+        rsys = Syscalls(dst, restored[0])
+        rsys.poke(entry.start, b"alive-on-dst")
+        assert rsys.peek(entry.start, 12) == b"alive-on-dst"

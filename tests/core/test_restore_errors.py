@@ -1,0 +1,76 @@
+"""Error-path tests for the restore engine and image loader."""
+
+import pytest
+
+from repro.core.backends import make_disk_backend
+from repro.core.checkpoint import CheckpointImage
+from repro.core.orchestrator import SLS
+from repro.core.restore import load_image_from_store
+from repro.errors import RestoreError
+from repro.hw.nvme import NvmeDevice
+from repro.posix.kernel import Kernel
+from repro.posix.syscalls import Syscalls
+from repro.units import GIB, PAGE_SIZE
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(memory_bytes=4 * GIB)
+
+
+@pytest.fixture
+def sls(kernel):
+    return SLS(kernel)
+
+
+class TestRestoreErrors:
+    def test_empty_image_rejected(self, sls):
+        image = CheckpointImage(name="hollow", group_name="g", epoch=1,
+                                incremental=False, meta={})
+        with pytest.raises(RestoreError):
+            sls.restore(image)
+
+    def test_memory_restore_without_pages_rejected(self, sls):
+        image = CheckpointImage(name="hollow", group_name="g", epoch=1,
+                                incremental=False, meta={})
+        with pytest.raises(RestoreError):
+            sls.restore(image, backend_name="memory")
+
+    def test_loader_rejects_plain_snapshot(self, kernel, sls):
+        """A snapshot without a pagemap delta (e.g. an SLSFS snapshot)
+        is not a restorable process image."""
+        backend = make_disk_backend(kernel, NvmeDevice(kernel.clock))
+        store = backend.store
+        ref = store.write_meta(oid=1, value={"not": "an image"})
+        snap = store.commit_snapshot("plain", meta={"incremental": False},
+                                     records=[ref], pages=[])
+        with pytest.raises(RestoreError):
+            load_image_from_store(store, snap)
+
+    def test_loader_rejects_recordless_snapshot(self, kernel):
+        device = NvmeDevice(kernel.clock)
+        from repro.objstore.store import ObjectStore
+
+        store = ObjectStore(device)
+        snap = store.commit_snapshot("empty", meta={"incremental": False},
+                                     records=[], pages=[])
+        with pytest.raises(RestoreError):
+            load_image_from_store(store, snap)
+
+    def test_restore_engine_survives_group_churn(self, kernel, sls):
+        """Images from unpersisted groups stay restorable while their
+        store backend is referenced by the image itself."""
+        proc = kernel.spawn("app")
+        sys = Syscalls(kernel, proc)
+        entry = sys.mmap(4 * PAGE_SIZE, name="heap")
+        sys.populate(entry.start, 4 * PAGE_SIZE, fill=b"x")
+        group = sls.persist(proc, name="app")
+        backend = make_disk_backend(kernel, NvmeDevice(kernel.clock))
+        group.attach(backend)
+        image = sls.checkpoint(group)
+        sls.barrier(group)
+        sls.unpersist(group)
+        procs, _ = sls.restore(image, backend_name="disk0",
+                               store=backend.store,
+                               new_instance=True, name_suffix="-r")
+        assert Syscalls(kernel, procs[0]).peek(entry.start, 1) == b"x"

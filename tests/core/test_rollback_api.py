@@ -1,0 +1,181 @@
+"""Tests for rollback and the libsls API (Table 2)."""
+
+import pytest
+
+from repro.core.api import AuroraApi
+from repro.core.backends import MemoryBackend, make_disk_backend
+from repro.core.orchestrator import SLS
+from repro.core.rollback import ROLLBACK_SIGNAL, rollback
+from repro.errors import NotPersisted, RollbackError, SlsError
+from repro.hw.nvme import NvmeDevice
+from repro.posix.kernel import Kernel
+from repro.posix.syscalls import Syscalls
+from repro.units import GIB, KIB, PAGE_SIZE
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(memory_bytes=4 * GIB)
+
+
+@pytest.fixture
+def sls(kernel):
+    return SLS(kernel)
+
+
+@pytest.fixture
+def world(kernel, sls):
+    proc = kernel.spawn("app")
+    sys = Syscalls(kernel, proc)
+    entry = sys.mmap(64 * KIB, name="heap")
+    sys.populate(entry.start, 64 * KIB, fill=b"v1")
+    group = sls.persist(proc, name="app")
+    group.attach(make_disk_backend(kernel, NvmeDevice(kernel.clock)))
+    group.attach(MemoryBackend("memory"))
+    return proc, sys, entry, group
+
+
+class TestRollback:
+    def test_rollback_restores_memory(self, world, sls, kernel):
+        proc, sys, entry, group = world
+        sls.checkpoint(group)
+        sys.poke(entry.start, b"MUTATED")
+        procs, _ = rollback(sls, group)
+        rsys = Syscalls(kernel, procs[0])
+        assert rsys.peek(entry.start, 2) == b"v1"
+
+    def test_rollback_preserves_pid(self, world, sls):
+        proc, sys, entry, group = world
+        sls.checkpoint(group)
+        procs, _ = rollback(sls, group)
+        assert procs[0].pid == proc.pid
+
+    def test_rollback_reroots_group(self, world, sls):
+        proc, sys, entry, group = world
+        sls.checkpoint(group)
+        procs, _ = rollback(sls, group)
+        assert group.root is procs[0]
+        assert group.member_pids() == {procs[0].pid}
+
+    def test_rollback_notifies_with_signal(self, world, sls):
+        _, _, _, group = world
+        sls.checkpoint(group)
+        procs, _ = rollback(sls, group)
+        assert ROLLBACK_SIGNAL in procs[0].signals.pending
+
+    def test_rollback_notify_optional(self, world, sls):
+        _, _, _, group = world
+        sls.checkpoint(group)
+        procs, _ = rollback(sls, group, notify=False)
+        assert ROLLBACK_SIGNAL not in procs[0].signals.pending
+
+    def test_rollback_without_checkpoint_rejected(self, world, sls):
+        _, _, _, group = world
+        with pytest.raises(RollbackError):
+            rollback(sls, group)
+
+    def test_rollback_to_older_image(self, world, sls, kernel):
+        _, sys, entry, group = world
+        first = sls.checkpoint(group)
+        sys.poke(entry.start, b"v2")
+        sls.checkpoint(group)
+        procs, _ = rollback(sls, group, image=first)
+        assert Syscalls(kernel, procs[0]).peek(entry.start, 2) == b"v1"
+
+    def test_repeated_rollbacks(self, world, sls, kernel):
+        _, sys, entry, group = world
+        sls.checkpoint(group)
+        for i in range(3):
+            procs, _ = rollback(sls, group)
+            rsys = Syscalls(kernel, procs[0])
+            assert rsys.peek(entry.start, 2) == b"v1"
+            rsys.poke(entry.start, b"dirty-%d" % i)
+        assert group.stats.rollbacks == 3
+
+
+class TestAuroraApi:
+    def test_requires_persistence(self, kernel, sls):
+        loner = kernel.spawn("loner")
+        api = AuroraApi(sls, loner)
+        with pytest.raises(NotPersisted):
+            api.sls_checkpoint()
+
+    def test_sls_checkpoint_and_restore(self, world, sls, kernel):
+        proc, sys, entry, group = world
+        api = AuroraApi(sls, proc)
+        api.sls_checkpoint(name="manual")
+        sys.poke(entry.start, b"XX")
+        procs, _ = api.sls_restore(
+            name="manual", new_instance=True, name_suffix="-r"
+        )
+        assert Syscalls(kernel, procs[0]).peek(entry.start, 2) == b"v1"
+
+    def test_sls_restore_unknown_name(self, world, sls):
+        proc, _, _, group = world
+        api = AuroraApi(sls, proc)
+        with pytest.raises(SlsError):
+            api.sls_restore(name="ghost")
+
+    def test_sls_rollback(self, world, sls, kernel):
+        proc, sys, entry, group = world
+        api = AuroraApi(sls, proc)
+        api.sls_checkpoint()
+        sys.poke(entry.start, b"ZZ")
+        procs, _ = api.sls_rollback()
+        assert Syscalls(kernel, procs[0]).peek(entry.start, 2) == b"v1"
+
+    def test_sls_barrier_returns_durable_time(self, world, sls, kernel):
+        proc, _, _, group = world
+        api = AuroraApi(sls, proc)
+        image = api.sls_checkpoint()
+        when = api.sls_barrier()
+        assert image.durable
+        assert when == kernel.clock.now
+
+    def test_sls_ntflush_appends_and_replays(self, world, sls):
+        proc, _, _, group = world
+        api = AuroraApi(sls, proc)
+        api.sls_ntflush(b"SET a 1")
+        api.sls_ntflush(b"SET b 2")
+        replay = api.sls_log_replay()
+        assert [p for _s, p in replay] == [b"SET a 1", b"SET b 2"]
+
+    def test_sls_ntflush_requires_store_backend(self, kernel, sls):
+        proc = kernel.spawn("memonly")
+        Syscalls(kernel, proc).mmap(64 * KIB)
+        group = sls.persist(proc)
+        group.attach(MemoryBackend("m"))
+        api = AuroraApi(sls, proc)
+        with pytest.raises(SlsError):
+            api.sls_ntflush(b"x")
+
+    def test_sls_log_truncate(self, world, sls):
+        proc, *_ = world
+        api = AuroraApi(sls, proc)
+        api.sls_ntflush(b"one")
+        seq = api.sls_ntflush(b"two").seq
+        api.sls_log_truncate(seq)
+        assert [p for _s, p in api.sls_log_replay()] == [b"two"]
+
+    def test_sls_mctl_splits_entries(self, world, sls):
+        proc, sys, entry, group = world
+        api = AuroraApi(sls, proc)
+        affected = api.sls_mctl(
+            entry.start + 4 * PAGE_SIZE, 4 * PAGE_SIZE, include=False
+        )
+        assert affected == 1
+        excluded = [e for e in proc.aspace.entries if e.sls_exclude]
+        assert len(excluded) == 1
+        assert excluded[0].start == entry.start + 4 * PAGE_SIZE
+
+    def test_sls_mctl_hint_validation(self, world, sls):
+        proc, _, entry, _ = world
+        api = AuroraApi(sls, proc)
+        with pytest.raises(SlsError):
+            api.sls_mctl(entry.start, PAGE_SIZE, hint="sideways")
+
+    def test_sls_mctl_unmapped_range(self, world, sls):
+        proc, *_ = world
+        api = AuroraApi(sls, proc)
+        with pytest.raises(SlsError):
+            api.sls_mctl(0xDEAD0000, PAGE_SIZE)

@@ -1,0 +1,81 @@
+"""Unit tests for the network link model."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.netdev import NetworkLink
+from repro.hw.specs import TEN_GBE
+from repro.sim.clock import SimClock
+from repro.units import KIB, MIB
+
+
+@pytest.fixture
+def link():
+    return NetworkLink(SimClock())
+
+
+@pytest.fixture
+def pair(link):
+    return link.attach("alpha"), link.attach("beta")
+
+
+class TestTransmission:
+    def test_roundtrip(self, link, pair):
+        alpha, beta = pair
+        alpha.send("beta", b"hello")
+        message = beta.receive()
+        assert message.payload == b"hello"
+        assert message.sender == "alpha"
+
+    def test_latency_charged(self, link, pair):
+        alpha, beta = pair
+        message = alpha.send("beta", b"x")
+        assert message.arrives_at >= TEN_GBE.latency_ns
+
+    def test_bandwidth_term(self, link, pair):
+        alpha, beta = pair
+        small = alpha.send("beta", b"x" * KIB)
+        large = alpha.send("beta", b"x" * MIB)
+        assert (large.arrives_at - large.sent_at) > (small.arrives_at - small.sent_at)
+
+    def test_receive_waits_for_arrival(self, link, pair):
+        alpha, beta = pair
+        message = alpha.send("beta", b"data")
+        assert link.clock.now < message.arrives_at
+        beta.receive(wait=True)
+        assert link.clock.now >= message.arrives_at
+
+    def test_receive_nowait_returns_none_before_arrival(self, link, pair):
+        alpha, beta = pair
+        alpha.send("beta", b"data")
+        assert beta.receive(wait=False) is None
+
+    def test_in_order_delivery(self, link, pair):
+        alpha, beta = pair
+        alpha.send("beta", b"1")
+        alpha.send("beta", b"2")
+        assert beta.receive().payload == b"1"
+        assert beta.receive().payload == b"2"
+
+    def test_unknown_endpoint_rejected(self, link, pair):
+        alpha, _ = pair
+        with pytest.raises(HardwareError):
+            alpha.send("nobody", b"x")
+
+    def test_wire_serialization(self, link, pair):
+        # Two large messages share the wire: second arrives later than
+        # it would alone.
+        alpha, beta = pair
+        solo_link = NetworkLink(SimClock())
+        a2 = solo_link.attach("a")
+        solo_link.attach("b")
+        solo = a2.send("b", b"x" * MIB)
+        alpha.send("beta", b"x" * MIB)
+        second = alpha.send("beta", b"x" * MIB)
+        assert (second.arrives_at - second.sent_at) > (solo.arrives_at - solo.sent_at)
+
+    def test_stats(self, link, pair):
+        alpha, beta = pair
+        alpha.send("beta", b"abc")
+        assert link.messages_carried == 1
+        assert link.bytes_carried == 3

@@ -1,0 +1,68 @@
+"""Sanity tests on the calibrated device and CPU cost models."""
+
+from repro.hw.specs import (
+    DEFAULT_CPU,
+    DRAM,
+    NAND_SSD,
+    NVDIMM_SPEC,
+    OPTANE_900P,
+    SPINNING_DISK,
+    TEN_GBE,
+)
+from repro.units import GIB, USEC
+
+
+class TestDeviceSpecs:
+    def test_optane_matches_paper_hardware(self):
+        # The paper's testbed: Intel Optane 900P, ~10 µs access.
+        assert OPTANE_900P.read_latency_ns == 10 * USEC
+        assert OPTANE_900P.persistent
+
+    def test_latency_ordering_across_generations(self):
+        # DRAM < NVDIMM < Optane < NAND(read) < HDD
+        chain = (DRAM, NVDIMM_SPEC, OPTANE_900P, NAND_SSD, SPINNING_DISK)
+        latencies = [spec.read_latency_ns for spec in chain]
+        assert latencies == sorted(latencies)
+
+    def test_byte_addressability_flags(self):
+        assert NVDIMM_SPEC.byte_addressable
+        assert DRAM.byte_addressable
+        assert not OPTANE_900P.byte_addressable
+
+    def test_only_dram_is_volatile(self):
+        assert not DRAM.persistent
+        for spec in (NVDIMM_SPEC, OPTANE_900P, NAND_SSD, SPINNING_DISK):
+            assert spec.persistent
+
+    def test_ten_gbe_line_rate(self):
+        assert TEN_GBE.bandwidth == 1.25 * GIB
+
+
+class TestCpuCostModel:
+    def test_table3_arithmetic(self):
+        """The calibration identities behind Table 3 must hold: full
+        lazy copy = resident pages x arm cost; incremental = dirty
+        pages x incremental arm cost."""
+        pages_2gib = (2 * GIB) // 4096
+        full_us = pages_2gib * DEFAULT_CPU.pte_cow_arm_ns / 1000
+        assert abs(full_us - 5145.9) < 15  # paper: 5145.9 us
+        dirty = pages_2gib // 10
+        incr_us = dirty * DEFAULT_CPU.pte_cow_arm_incr_ns / 1000
+        assert abs(incr_us - 711.1) < 15  # paper: 711.1 us
+
+    def test_incremental_arm_costs_more_per_page(self):
+        # List processing on top of the PTE arm itself.
+        assert DEFAULT_CPU.pte_cow_arm_incr_ns > DEFAULT_CPU.pte_cow_arm_ns
+
+    def test_cow_fault_dwarfs_arming(self):
+        # Servicing a fault (allocate + copy 4 KiB) is ~250x arming one
+        # PTE — why arming everything beats copying anything.
+        assert DEFAULT_CPU.cow_fault_ns > 100 * DEFAULT_CPU.pte_cow_arm_ns
+
+    def test_frozen_model_immutable(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CPU.syscall_ns = 0  # type: ignore[misc]

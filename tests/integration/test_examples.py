@@ -1,0 +1,22 @@
+"""Every shipped example must run clean end-to-end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    except SystemExit as exc:
+        assert exc.code in (0, None), f"{script.name} exited {exc.code}"
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"

@@ -1,0 +1,76 @@
+"""Unit tests for the simulated page tables."""
+
+import pytest
+
+from repro.mem.page import Page
+from repro.mem.pagetable import PageTable
+
+
+@pytest.fixture
+def table():
+    return PageTable()
+
+
+@pytest.fixture
+def page():
+    return Page(pfn=1, payload=b"x")
+
+
+class TestPteOps:
+    def test_install_lookup(self, table, page):
+        pte = table.install(100, page, writable=True)
+        assert table.lookup(100) is pte
+        assert pte.page is page
+        assert pte.writable and not pte.dirty and not pte.accessed
+
+    def test_lookup_missing(self, table):
+        assert table.lookup(5) is None
+
+    def test_remove(self, table, page):
+        table.install(1, page, writable=True)
+        removed = table.remove(1)
+        assert removed is not None and removed.page is page
+        assert table.lookup(1) is None
+        assert table.remove(1) is None
+
+    def test_remove_range(self, table, page):
+        for vpn in (1, 2, 3, 10):
+            table.install(vpn, page, writable=True)
+        assert table.remove_range(1, 4) == 3
+        assert table.lookup(10) is not None
+        assert len(table) == 1
+
+    def test_write_protect(self, table, page):
+        table.install(1, page, writable=True)
+        assert table.write_protect(1) is True
+        assert table.lookup(1).writable is False
+        # Already protected: no change reported.
+        assert table.write_protect(1) is False
+        # Missing: no change.
+        assert table.write_protect(99) is False
+
+    def test_update_page_swaps_frame_and_clears_dirty(self, table, page):
+        pte = table.install(1, page, writable=False)
+        pte.dirty = True
+        replacement = Page(pfn=2, payload=b"new")
+        assert table.update_page(1, replacement, writable=True)
+        pte = table.lookup(1)
+        assert pte.page is replacement
+        assert pte.writable
+        assert not pte.dirty
+
+    def test_update_missing_page(self, table, page):
+        assert table.update_page(7, page, writable=True) is False
+
+    def test_clear(self, table, page):
+        table.install(1, page, True)
+        table.install(2, page, True)
+        assert table.clear() == 2
+        assert len(table) == 0
+
+    def test_iter_entries(self, table, page):
+        table.install(3, page, True)
+        table.install(1, page, True)
+        vpns = sorted(vpn for vpn, _ in table.iter_entries())
+        assert vpns == [1, 3]
+        assert table.resident_count() == 2

@@ -1,0 +1,125 @@
+"""Unit tests for swap and the pageout daemon."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.hw.nvme import NvmeDevice
+from repro.mem.address_space import AddressSpace, MemContext
+from repro.mem.cow import AuroraCow
+from repro.mem.phys import PhysicalMemory
+from repro.mem.swap import PageoutDaemon, SwapSpace
+from repro.sim.clock import SimClock
+from repro.units import MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def mem():
+    context = MemContext(SimClock(), PhysicalMemory(total_bytes=1 * MIB))
+    AuroraCow(context)
+    return context
+
+
+@pytest.fixture
+def swap(mem):
+    return SwapSpace(mem, NvmeDevice(mem.clock, name="swapdev"))
+
+
+@pytest.fixture
+def aspace(mem):
+    return AddressSpace(mem, "app")
+
+
+class TestSwapSpace:
+    def test_page_out_frees_frame(self, aspace, swap, mem):
+        entry = aspace.mmap(4 * PAGE_SIZE)
+        aspace.write(entry.start, b"swappable")
+        frames = mem.phys.allocated_frames
+        swap.page_out(entry.obj, 0)
+        assert mem.phys.allocated_frames == frames - 1
+        assert entry.obj.resident_page(0) is None
+        assert 0 in entry.obj.swap_slots
+
+    def test_fault_brings_content_back(self, aspace, swap):
+        entry = aspace.mmap(4 * PAGE_SIZE)
+        aspace.write(entry.start, b"swappable")
+        swap.page_out(entry.obj, 0)
+        assert aspace.read(entry.start, 9) == b"swappable"
+        assert 0 not in entry.obj.swap_slots
+        assert swap.stats.swapped_in == 1
+
+    def test_page_out_removes_ptes(self, aspace, swap):
+        entry = aspace.mmap(4 * PAGE_SIZE)
+        aspace.write(entry.start, b"x")
+        assert aspace.pagetable.lookup(entry.start_vpn) is not None
+        swap.page_out(entry.obj, 0)
+        assert aspace.pagetable.lookup(entry.start_vpn) is None
+
+    def test_page_out_nonresident_rejected(self, aspace, swap):
+        entry = aspace.mmap(4 * PAGE_SIZE)
+        with pytest.raises(MappingError):
+            swap.page_out(entry.obj, 0)
+
+    def test_read_slot_without_faulting(self, aspace, swap):
+        entry = aspace.mmap(4 * PAGE_SIZE)
+        aspace.write(entry.start, b"checkpoint-me")
+        swap.page_out(entry.obj, 0)
+        content = swap.read_slot(entry.obj, 0)
+        assert content[:13] == b"checkpoint-me"
+        assert entry.obj.resident_page(0) is None  # still out
+
+    def test_slot_reuse(self, aspace, swap):
+        entry = aspace.mmap(4 * PAGE_SIZE)
+        aspace.write(entry.start, b"one")
+        slot1 = swap.page_out(entry.obj, 0)
+        aspace.read(entry.start, 3)  # fault in, slot freed
+        aspace.write(entry.start + PAGE_SIZE, b"two")
+        slot2 = swap.page_out(entry.obj, 1)
+        assert slot2 == slot1
+
+
+class TestPageoutDaemon:
+    def test_balance_relieves_pressure(self, mem, swap):
+        aspace = AddressSpace(mem, "hog")
+        entry = aspace.mmap(1 * MIB)
+        # 1 MiB phys = 256 frames; populate 240 (94%).
+        aspace.populate(entry.start, 240 * PAGE_SIZE, fill=b"x")
+        daemon = PageoutDaemon(mem, swap, high_watermark=0.9, low_watermark=0.5)
+        daemon.track(entry.obj)
+        assert daemon.needs_balancing()
+        evicted = daemon.balance()
+        assert evicted > 0
+        assert mem.phys.pressure() <= 0.5
+
+    def test_balance_skips_frozen_pages(self, mem, swap):
+        from repro.mem.cow import AuroraCow
+
+        aspace = AddressSpace(mem, "app")
+        entry = aspace.mmap(1 * MIB)
+        aspace.populate(entry.start, 240 * PAGE_SIZE, fill=b"x")
+        mem.frozen_write_handler = None
+        cow = AuroraCow(mem)
+        cow.freeze(aspace.vm_objects())
+        daemon = PageoutDaemon(mem, swap, high_watermark=0.9, low_watermark=0.5)
+        daemon.track(entry.obj)
+        daemon.balance()
+        # Frozen pages were skipped, so pressure stays high.
+        assert mem.phys.pressure() > 0.5
+
+    def test_content_survives_eviction(self, mem, swap):
+        aspace = AddressSpace(mem, "app")
+        entry = aspace.mmap(1 * MIB)
+        aspace.populate(
+            entry.start, 240 * PAGE_SIZE, fill_fn=lambda i: b"page-%d" % i
+        )
+        daemon = PageoutDaemon(mem, swap, high_watermark=0.9, low_watermark=0.5)
+        daemon.track(entry.obj)
+        daemon.balance()
+        # Every page still readable (faulting back from swap).
+        for i in (0, 100, 239):
+            expected = b"page-%d" % i
+            got = aspace.read(entry.start + i * PAGE_SIZE, len(expected))
+            assert got == expected
+
+    def test_watermark_validation(self, mem, swap):
+        with pytest.raises(ValueError):
+            PageoutDaemon(mem, swap, high_watermark=0.5, low_watermark=0.9)

@@ -1,0 +1,116 @@
+"""Unit tests for the extent allocator."""
+
+import pytest
+
+from repro.errors import StoreFullError
+from repro.objstore.alloc import Extent, ExtentAllocator
+
+
+@pytest.fixture
+def alloc():
+    return ExtentAllocator(base=1000, size=10_000)
+
+
+class TestAllocate:
+    def test_first_fit_from_base(self, alloc):
+        extent = alloc.allocate(100)
+        assert extent.offset == 1000
+        assert extent.length == 100
+
+    def test_sequential_allocations_adjacent(self, alloc):
+        a = alloc.allocate(100)
+        b = alloc.allocate(50)
+        assert b.offset == a.end
+
+    def test_accounting(self, alloc):
+        alloc.allocate(100)
+        assert alloc.allocated_bytes == 100
+        assert alloc.free_bytes == 9_900
+
+    def test_exhaustion(self, alloc):
+        alloc.allocate(10_000)
+        with pytest.raises(StoreFullError):
+            alloc.allocate(1)
+
+    def test_fragmentation_blocks_large_alloc(self, alloc):
+        extents = [alloc.allocate(1000) for _ in range(10)]
+        for extent in extents[::2]:
+            alloc.free(extent)
+        assert alloc.free_bytes == 5000
+        with pytest.raises(StoreFullError):
+            alloc.allocate(2000)
+
+    def test_invalid_length(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.allocate(0)
+
+
+class TestFree:
+    def test_free_makes_space_reusable(self, alloc):
+        extent = alloc.allocate(10_000)
+        alloc.free(extent)
+        assert alloc.allocate(10_000).offset == 1000
+
+    def test_coalesce_with_both_neighbours(self, alloc):
+        a = alloc.allocate(100)
+        b = alloc.allocate(100)
+        c = alloc.allocate(100)
+        alloc.free(a)
+        alloc.free(c)
+        alloc.free(b)
+        alloc.check_invariants()
+        assert alloc.free_extent_count() == 1
+
+    def test_double_free_detected(self, alloc):
+        extent = alloc.allocate(100)
+        alloc.free(extent)
+        with pytest.raises(ValueError):
+            alloc.free(extent)
+
+    def test_overlapping_free_detected(self, alloc):
+        extent = alloc.allocate(100)
+        alloc.free(extent)
+        with pytest.raises(ValueError):
+            alloc.free(Extent(extent.offset + 10, 20))
+
+    def test_out_of_range_free_rejected(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.free(Extent(0, 100))
+
+
+class TestReserve:
+    def test_reserve_specific_extent(self, alloc):
+        alloc.reserve(Extent(5000, 200))
+        assert alloc.allocated_bytes == 200
+        # New allocation avoids the reserved range.
+        for _ in range(5):
+            extent = alloc.allocate(1000)
+            assert extent.end <= 5000 or extent.offset >= 5200
+
+    def test_reserve_conflict_detected(self, alloc):
+        alloc.reserve(Extent(5000, 200))
+        with pytest.raises(ValueError):
+            alloc.reserve(Extent(5100, 200))
+
+    def test_reserve_then_free_restores(self, alloc):
+        extent = Extent(5000, 200)
+        alloc.reserve(extent)
+        alloc.free(extent)
+        alloc.check_invariants()
+        assert alloc.free_bytes == 10_000
+
+    def test_reserve_at_edges(self, alloc):
+        alloc.reserve(Extent(1000, 100))     # exact start
+        alloc.reserve(Extent(10_900, 100))   # exact end
+        alloc.check_invariants()
+
+
+class TestFragmentationMetric:
+    def test_zero_when_unfragmented(self, alloc):
+        assert alloc.fragmentation() == 0.0
+
+    def test_grows_with_holes(self, alloc):
+        extents = [alloc.allocate(1000) for _ in range(10)]
+        for extent in extents[1::2]:
+            alloc.free(extent)
+        assert 0.0 < alloc.fragmentation() < 1.0

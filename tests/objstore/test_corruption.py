@@ -1,0 +1,98 @@
+"""Corruption fuzzing: recovery never crashes, never serves bad data.
+
+The store's integrity contract: whatever bytes get flipped on the
+medium, recovery either reproduces a snapshot's data exactly or
+discards that snapshot — it must never return silently corrupted
+content or raise an unhandled error.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AuroraError
+from repro.hw.nvme import NvmeDevice
+from repro.objstore.store import ObjectStore
+from repro.sim.clock import SimClock
+
+
+def build_device(n_snapshots=3, pages_per_snap=4):
+    clock = SimClock()
+    device = NvmeDevice(clock)
+    store = ObjectStore(device)
+    expected = {}
+    for s in range(n_snapshots):
+        payloads = [b"snap%d-page%d" % (s, i) for i in range(pages_per_snap)]
+        refs = [store.write_page(p) for p in payloads]
+        meta = store.write_meta(oid=s, value={"snap": s})
+        store.commit_snapshot(f"s{s}", meta={"s": s}, records=[meta],
+                              pages=refs)
+        expected[f"s{s}"] = sorted(payloads)
+    store.flush_barrier()
+    return device, expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    flips=st.lists(
+        st.tuples(st.integers(0, 200_000), st.integers(1, 255)),
+        min_size=1, max_size=8,
+    )
+)
+def test_recovery_detects_or_survives_corruption(flips):
+    device, expected = build_device()
+    # Flip bytes directly on the media.
+    for offset, xor in flips:
+        block_no, within = divmod(offset, 4096)
+        block = device._blocks.get(block_no)
+        if block is not None:
+            block[within] ^= xor
+    fresh = ObjectStore(device)
+    report = fresh.recover()  # must not raise
+    for snapshot in fresh.snapshots():
+        # Anything recovery kept must read back bit-exact.
+        try:
+            _meta, records, pages = fresh.load_manifest(snapshot)
+            got = sorted(fresh.read_page(r) for r in pages)
+        except AuroraError:
+            # Detected on access — acceptable: never silent corruption.
+            continue
+        if snapshot.name in expected:
+            assert got == expected[snapshot.name]
+    assert report.snapshots_recovered + report.snapshots_discarded <= len(expected)
+
+
+class TestTargetedCorruption:
+    def test_corrupt_page_record_discards_snapshot(self):
+        device, expected = build_device(n_snapshots=1)
+        store = ObjectStore(device)
+        store.recover()
+        snap = store.snapshots()[0]
+        _m, _r, pages = store.load_manifest(snap)
+        # Corrupt the first page record's payload on the media.
+        target = pages[0].extent.offset + 40
+        block_no, within = divmod(target, 4096)
+        device._blocks[block_no][within] ^= 0xFF
+        fresh = ObjectStore(device)
+        report = fresh.recover()
+        assert report.snapshots_discarded == 1
+        assert fresh.snapshots() == []
+
+    def test_corrupt_both_superblocks_recovers_empty(self):
+        device, expected = build_device(n_snapshots=2)
+        for slot_base in (0, 8 * 1024):
+            block_no = slot_base // 4096
+            device._blocks.setdefault(block_no, bytearray(4096))[0] ^= 0xFF
+        fresh = ObjectStore(device)
+        report = fresh.recover()
+        assert report.snapshots_recovered == 0
+        assert fresh.snapshots() == []
+
+    def test_corrupt_one_superblock_uses_other(self):
+        device, expected = build_device(n_snapshots=2)
+        # Generation 2 lives in slot 0 (gen % 2); kill it, gen 1 survives.
+        device._blocks[0][0] ^= 0xFF
+        fresh = ObjectStore(device)
+        report = fresh.recover()
+        assert report.generation == 1
+        assert [s.name for s in fresh.snapshots()] == ["s0"]

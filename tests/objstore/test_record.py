@@ -1,0 +1,138 @@
+"""Unit tests for checksums, record framing, and the metadata codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ChecksumError, ObjectStoreError
+from repro.objstore.checksum import fletcher64, verify
+from repro.objstore.record import (
+    HEADER_SIZE,
+    KIND_META,
+    decode,
+    encode,
+    pack_record,
+    unpack_header,
+    unpack_record,
+)
+
+
+class TestFletcher64:
+    def test_deterministic(self):
+        assert fletcher64(b"hello") == fletcher64(b"hello")
+
+    def test_discriminates(self):
+        assert fletcher64(b"hello") != fletcher64(b"hellp")
+
+    def test_order_sensitive(self):
+        assert fletcher64(b"ab" * 10) != fletcher64(b"ba" * 10)
+
+    def test_empty(self):
+        assert fletcher64(b"") == 0
+
+    def test_verify(self):
+        assert verify(b"data", fletcher64(b"data"))
+        assert not verify(b"data", fletcher64(b"data") + 1)
+
+    def test_unaligned_tail(self):
+        assert fletcher64(b"abcde") != fletcher64(b"abcd")
+
+
+class TestRecordFraming:
+    def test_roundtrip(self):
+        raw = pack_record(kind=KIND_META, oid=7, epoch=3, payload=b"payload")
+        header, payload = unpack_record(raw)
+        assert header.oid == 7
+        assert header.epoch == 3
+        assert payload == b"payload"
+
+    def test_corrupt_payload_detected(self):
+        raw = bytearray(pack_record(KIND_META, 1, 1, b"sensitive"))
+        raw[HEADER_SIZE] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            unpack_record(bytes(raw))
+
+    def test_bad_magic_detected(self):
+        raw = bytearray(pack_record(KIND_META, 1, 1, b"x"))
+        raw[0] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            unpack_header(bytes(raw))
+
+    def test_truncated_payload_detected(self):
+        raw = pack_record(KIND_META, 1, 1, b"0123456789")
+        with pytest.raises(ChecksumError):
+            unpack_record(raw[: HEADER_SIZE + 4])
+
+    def test_short_header(self):
+        with pytest.raises(ObjectStoreError):
+            unpack_header(b"tiny")
+
+
+class TestCodec:
+    CASES = [
+        None,
+        True,
+        False,
+        0,
+        12345678901234567890,
+        -42,
+        3.14159,
+        b"",
+        b"\x00\xff binary",
+        "",
+        "unicode: αβγ→",
+        [],
+        [1, "two", b"three", None],
+        {},
+        {"a": 1, "b": [2, 3]},
+        {1: "int-key", b"bytes": "bytes-key"},
+        {"nested": {"deep": [{"x": b"\x00"}]}},
+    ]
+
+    @pytest.mark.parametrize("value", CASES, ids=lambda v: repr(v)[:40])
+    def test_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_deterministic_dict_order(self):
+        a = encode({"x": 1, "y": 2})
+        b = encode({"y": 2, "x": 1})
+        assert a == b
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ObjectStoreError):
+            decode(encode(1) + b"junk")
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode(object())
+
+    def test_tuple_decodes_as_list(self):
+        assert decode(encode((1, 2))) == [1, 2]
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.binary(max_size=64)
+    | st.text(max_size=32),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(value=json_like)
+def test_codec_roundtrip_property(value):
+    assert decode(encode(value)) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(payload=st.binary(max_size=2048), oid=st.integers(0, 2**60),
+       epoch=st.integers(0, 2**60))
+def test_record_roundtrip_property(payload, oid, epoch):
+    header, out = unpack_record(pack_record(KIND_META, oid, epoch, payload))
+    assert out == payload
+    assert header.oid == oid
+    assert header.epoch == epoch

@@ -1,0 +1,117 @@
+"""Tests for the cooperative scheduler."""
+
+import pytest
+
+from repro.core.backends import make_disk_backend
+from repro.core.orchestrator import SLS
+from repro.errors import PosixError
+from repro.hw.nvme import NvmeDevice
+from repro.posix.kernel import Kernel
+from repro.posix.scheduler import Scheduler
+from repro.posix.syscalls import Syscalls
+from repro.units import GIB, KIB, MSEC, USEC
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(memory_bytes=4 * GIB)
+
+
+@pytest.fixture
+def sched(kernel):
+    return Scheduler(kernel)
+
+
+class TestScheduling:
+    def test_steps_run_and_charge_time(self, kernel, sched):
+        proc = kernel.spawn("worker")
+        ticks = []
+        sched.register(proc, lambda: ticks.append(kernel.clock.now))
+        before = kernel.clock.now
+        executed = sched.run_for(1 * MSEC)
+        assert executed == len(ticks) == 10  # 1 ms / 100 µs slices
+        assert kernel.clock.now >= before + 1 * MSEC
+
+    def test_round_robin_fairness(self, kernel, sched):
+        a, b = kernel.spawn("a"), kernel.spawn("b")
+        counts = {"a": 0, "b": 0}
+        sched.register(a, lambda: counts.__setitem__("a", counts["a"] + 1))
+        sched.register(b, lambda: counts.__setitem__("b", counts["b"] + 1))
+        sched.run_for(2 * MSEC)
+        assert abs(counts["a"] - counts["b"]) <= 1
+
+    def test_step_returning_false_finishes(self, kernel, sched):
+        proc = kernel.spawn("oneshot")
+        runs = []
+
+        def step():
+            runs.append(1)
+            return False
+
+        sched.register(proc, step)
+        sched.run_for(1 * MSEC)
+        assert len(runs) == 1
+        assert sched.runnable == 0
+
+    def test_dead_process_retired(self, kernel, sched):
+        proc = kernel.spawn("doomed")
+        sched.register(proc, lambda: None)
+        kernel.exit(proc)
+        assert sched.run_for(500 * USEC) == 0
+
+    def test_register_dead_process_rejected(self, kernel, sched):
+        proc = kernel.spawn("gone")
+        kernel.exit(proc)
+        with pytest.raises(PosixError):
+            sched.register(proc, lambda: None)
+
+    def test_deschedule(self, kernel, sched):
+        proc = kernel.spawn("app")
+        sched.register(proc, lambda: None)
+        sched.register(proc, lambda: None)
+        assert sched.deschedule(proc) == 2
+        assert sched.runnable == 0
+
+    def test_idle_advances_to_deadline(self, kernel, sched):
+        before = kernel.clock.now
+        sched.run_for(1 * MSEC)
+        assert kernel.clock.now >= before + 1 * MSEC
+
+
+class TestBarrierIntegration:
+    def test_stopped_process_gets_no_cpu(self, kernel, sched):
+        proc = kernel.spawn("app")
+        runs = []
+        sched.register(proc, lambda: runs.append(1))
+        proc.stop_all_threads()
+        sched.run_for(1 * MSEC)
+        assert runs == []
+        proc.resume_all_threads()
+        sched.run_for(1 * MSEC)
+        assert runs
+
+    def test_app_runs_through_periodic_checkpoints(self, kernel, sched):
+        """The paradigm shot: the app computes continuously while
+        Aurora checkpoints it 100x/sec underneath."""
+        sls = SLS(kernel)
+        proc = kernel.spawn("app")
+        sys = Syscalls(kernel, proc)
+        entry = sys.mmap(64 * KIB, name="heap")
+        counter = [0]
+
+        def step():
+            counter[0] += 1
+            sys.poke(entry.start, b"step-%06d" % counter[0])
+
+        sched.register(proc, step)
+        group = sls.persist(proc, period_ns=10 * MSEC, auto_checkpoint=True)
+        group.attach(make_disk_backend(kernel, NvmeDevice(kernel.clock)))
+        sched.run_for(100 * MSEC)
+        sls.barrier(group)
+        assert group.stats.checkpoints_taken >= 8
+        assert counter[0] > 500  # the app made real progress
+        # The last durable image holds a consistent recent state.
+        procs, _ = sls.restore(group.latest_image, new_instance=True,
+                               name_suffix="-r")
+        snap = Syscalls(kernel, procs[0]).peek(entry.start, 11)
+        assert snap.startswith(b"step-")

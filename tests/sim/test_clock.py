@@ -1,0 +1,80 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.sim.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_custom_start(self):
+        assert SimClock(start=100).now == 100
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock(start=-1)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.now == 15
+
+    def test_advance_returns_new_now(self):
+        clock = SimClock()
+        assert clock.advance(7) == 7
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ClockError):
+            clock.advance(-1)
+
+    def test_advance_to_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(50)
+        assert clock.now == 50
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(start=100)
+        clock.advance_to(50)
+        assert clock.now == 100
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0)
+        assert clock.now == 0
+
+
+class TestClockRegion:
+    def test_region_measures_elapsed(self):
+        clock = SimClock()
+        with clock.region() as region:
+            clock.advance(42)
+        assert region.elapsed == 42
+
+    def test_region_open_elapsed_tracks_now(self):
+        clock = SimClock()
+        region = clock.region()
+        clock.advance(10)
+        assert region.elapsed == 10
+        clock.advance(10)
+        assert region.elapsed == 20
+
+    def test_region_frozen_after_exit(self):
+        clock = SimClock()
+        with clock.region() as region:
+            clock.advance(5)
+        clock.advance(100)
+        assert region.elapsed == 5
+
+    def test_nested_regions(self):
+        clock = SimClock()
+        with clock.region() as outer:
+            clock.advance(10)
+            with clock.region() as inner:
+                clock.advance(5)
+        assert inner.elapsed == 5
+        assert outer.elapsed == 15

@@ -1,0 +1,107 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.event import EventQueue
+
+
+@pytest.fixture
+def queue():
+    return EventQueue(SimClock())
+
+
+class TestScheduling:
+    def test_schedule_and_run(self, queue):
+        fired = []
+        queue.schedule(100, lambda: fired.append(1))
+        queue.run_until(100)
+        assert fired == [1]
+        assert queue.clock.now == 100
+
+    def test_event_not_due_does_not_fire(self, queue):
+        fired = []
+        queue.schedule(100, lambda: fired.append(1))
+        queue.run_until(99)
+        assert fired == []
+
+    def test_past_scheduling_rejected(self, queue):
+        queue.clock.advance(50)
+        with pytest.raises(SimulationError):
+            queue.schedule(49, lambda: None)
+
+    def test_schedule_after_relative(self, queue):
+        queue.clock.advance(10)
+        handle = queue.schedule_after(5, lambda: None)
+        assert handle.when == 15
+
+    def test_ordering_by_time(self, queue):
+        order = []
+        queue.schedule(20, lambda: order.append("b"))
+        queue.schedule(10, lambda: order.append("a"))
+        queue.run_until(30)
+        assert order == ["a", "b"]
+
+    def test_fifo_tiebreak_at_same_time(self, queue):
+        order = []
+        queue.schedule(10, lambda: order.append("first"))
+        queue.schedule(10, lambda: order.append("second"))
+        queue.run_until(10)
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_each_event(self, queue):
+        seen = []
+        queue.schedule(10, lambda: seen.append(queue.clock.now))
+        queue.schedule(30, lambda: seen.append(queue.clock.now))
+        queue.run_until(50)
+        assert seen == [10, 30]
+        assert queue.clock.now == 50
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, queue):
+        fired = []
+        handle = queue.schedule(10, lambda: fired.append(1))
+        handle.cancel()
+        queue.run_until(20)
+        assert fired == []
+
+    def test_len_ignores_cancelled(self, queue):
+        handle = queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        assert len(queue) == 2
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_next_deadline_skips_cancelled(self, queue):
+        first = queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        first.cancel()
+        assert queue.next_deadline() == 20
+
+
+class TestDrain:
+    def test_drain_runs_everything(self, queue):
+        fired = []
+        queue.schedule(10, lambda: fired.append("a"))
+        queue.schedule(500, lambda: fired.append("b"))
+        count = queue.drain()
+        assert count == 2
+        assert fired == ["a", "b"]
+        assert queue.clock.now == 500
+
+    def test_drain_runs_chained_events(self, queue):
+        fired = []
+
+        def first():
+            fired.append("first")
+            queue.schedule_after(10, lambda: fired.append("second"))
+
+        queue.schedule(5, first)
+        queue.drain()
+        assert fired == ["first", "second"]
+        assert queue.clock.now == 15
+
+    def test_drain_empty_queue(self, queue):
+        assert queue.drain() == 0

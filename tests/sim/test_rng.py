@@ -1,0 +1,68 @@
+"""Unit tests for deterministic RNG streams."""
+
+from repro.sim.rng import RngFactory, zipf_sampler
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        factory = RngFactory(42)
+        a = factory.stream("workload")
+        b = factory.stream("workload")
+        assert a is b
+
+    def test_reproducible_across_factories(self):
+        stream1 = RngFactory(7).stream("x")
+        seq1 = [stream1.random() for _ in range(5)]
+        stream2 = RngFactory(7).stream("x")
+        seq2 = [stream2.random() for _ in range(5)]
+        assert seq1 == seq2
+
+    def test_different_names_independent(self):
+        factory = RngFactory(7)
+        a = factory.stream("a").random()
+        b = factory.stream("b").random()
+        assert a != b
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        f1 = RngFactory(7)
+        s = f1.stream("main")
+        first = s.random()
+        f2 = RngFactory(7)
+        f2.stream("other")  # extra consumer
+        assert f2.stream("main").random() == first
+
+    def test_fork_independence(self):
+        factory = RngFactory(7)
+        child = factory.fork("child")
+        assert factory.stream("x").random() != child.stream("x").random()
+
+
+class TestZipf:
+    def test_range(self):
+        factory = RngFactory(1)
+        sample = zipf_sampler(factory.stream("z"), n=100, skew=0.99)
+        values = [sample() for _ in range(1000)]
+        assert all(0 <= v < 100 for v in values)
+
+    def test_skew_concentrates_mass(self):
+        factory = RngFactory(1)
+        sample = zipf_sampler(factory.stream("z"), n=1000, skew=1.2)
+        values = [sample() for _ in range(5000)]
+        top_decile = sum(1 for v in values if v < 100)
+        assert top_decile > len(values) * 0.5
+
+    def test_zero_skew_is_near_uniform(self):
+        factory = RngFactory(1)
+        sample = zipf_sampler(factory.stream("z"), n=10, skew=0.0)
+        values = [sample() for _ in range(10000)]
+        counts = [values.count(i) for i in range(10)]
+        assert min(counts) > 700  # ~1000 each ± noise
+
+    def test_invalid_args(self):
+        import pytest
+
+        factory = RngFactory(1)
+        with pytest.raises(ValueError):
+            zipf_sampler(factory.stream("z"), n=0)
+        with pytest.raises(ValueError):
+            zipf_sampler(factory.stream("z"), n=10, skew=-1)

@@ -1,0 +1,72 @@
+"""Coverage for the error hierarchy and kernel odds and ends."""
+
+import pytest
+
+from repro import errors
+from repro.hw.memdev import MemoryDevice
+from repro.posix.kernel import Kernel
+from repro.units import GIB, MSEC
+
+
+class TestErrorHierarchy:
+    def test_everything_is_an_aurora_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.AuroraError:
+                    assert issubclass(obj, errors.AuroraError), name
+
+    def test_posix_errors_carry_errno(self):
+        assert errors.BadFileDescriptor().errno == "EBADF"
+        assert errors.NoSuchFile().errno == "ENOENT"
+        assert errors.WouldBlock().errno == "EAGAIN"
+        custom = errors.PosixError("msg", errno="EBUSY")
+        assert custom.errno == "EBUSY"
+
+    def test_segfault_records_address(self):
+        fault = errors.SegmentationFault(0xDEAD)
+        assert fault.address == 0xDEAD
+        assert "0xdead" in str(fault)
+
+    def test_catch_at_subsystem_granularity(self):
+        with pytest.raises(errors.SlsError):
+            raise errors.CheckpointError("x")
+        with pytest.raises(errors.ObjectStoreError):
+            raise errors.ChecksumError("x")
+        with pytest.raises(errors.HardwareError):
+            raise errors.DeviceFullError("x")
+
+
+class TestKernelOdds:
+    def test_swap_device_created_on_demand(self):
+        kernel = Kernel(memory_bytes=1 * GIB)
+        assert kernel._swap is None
+        swap = kernel.swap
+        assert swap is kernel.swap  # cached
+        assert kernel.devices  # a device was provisioned
+
+    def test_swap_prefers_existing_persistent_device(self):
+        from repro.hw.nvme import NvmeDevice
+
+        kernel = Kernel(memory_bytes=1 * GIB)
+        kernel.add_device(MemoryDevice(kernel.clock))  # volatile: skipped
+        nvme = kernel.add_device(NvmeDevice(kernel.clock))
+        assert kernel.swap.device is nvme
+
+    def test_pageout_daemon_lazy(self):
+        kernel = Kernel(memory_bytes=1 * GIB)
+        daemon = kernel.pageout
+        assert daemon is kernel.pageout
+
+    def test_run_for_dispatches_events(self):
+        kernel = Kernel(memory_bytes=1 * GIB)
+        fired = []
+        kernel.events.schedule_after(5 * MSEC, lambda: fired.append(1))
+        kernel.run_for(10 * MSEC)
+        assert fired == [1]
+        assert kernel.clock.now >= 10 * MSEC
+
+    def test_repr_smoke(self):
+        kernel = Kernel()
+        assert "aurora0" in repr(kernel)
+        assert "init" in repr(kernel.init.aspace) or repr(kernel.init)

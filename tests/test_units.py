@@ -1,0 +1,87 @@
+"""Unit tests for size/time helpers."""
+
+import pytest
+
+from repro.units import (
+    GIB,
+    KIB,
+    MIB,
+    MSEC,
+    PAGE_SIZE,
+    SEC,
+    USEC,
+    fmt_size,
+    fmt_time,
+    is_page_aligned,
+    page_align_down,
+    page_align_up,
+    pages,
+    transfer_ns,
+)
+
+
+class TestPages:
+    def test_exact_pages(self):
+        assert pages(PAGE_SIZE) == 1
+        assert pages(4 * PAGE_SIZE) == 4
+
+    def test_round_up(self):
+        assert pages(1) == 1
+        assert pages(PAGE_SIZE + 1) == 2
+
+    def test_zero(self):
+        assert pages(0) == 0
+
+    def test_two_gib_is_paper_page_count(self):
+        # The Redis working set in Table 3.
+        assert pages(2 * GIB) == 524288
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert page_align_down(PAGE_SIZE + 7) == PAGE_SIZE
+
+    def test_align_up(self):
+        assert page_align_up(PAGE_SIZE + 1) == 2 * PAGE_SIZE
+        assert page_align_up(PAGE_SIZE) == PAGE_SIZE
+
+    def test_is_aligned(self):
+        assert is_page_aligned(0)
+        assert is_page_aligned(8 * PAGE_SIZE)
+        assert not is_page_aligned(100)
+
+
+class TestFormatting:
+    def test_fmt_size(self):
+        assert fmt_size(512) == "512 B"
+        assert fmt_size(2 * GIB) == "2.0 GiB"
+        assert fmt_size(1536 * KIB) == "1.5 MiB"
+
+    def test_fmt_time_units_match_paper(self):
+        # Table 3 reports 5413.8 us, not 5.4 ms.
+        assert fmt_time(5_413_800) == "5413.8 us"
+        assert fmt_time(950_800) == "950.8 us"
+        assert fmt_time(500) == "500 ns"
+        assert fmt_time(50 * MSEC) == "50.0 ms"
+        assert fmt_time(20 * SEC) == "20.00 s"
+
+
+class TestTransfer:
+    def test_basic_rate(self):
+        assert transfer_ns(1000, 1000) == SEC
+
+    def test_rounds_up(self):
+        assert transfer_ns(1, 3) == (SEC // 3) + 1
+
+    def test_zero_bytes(self):
+        assert transfer_ns(0, 100) == 0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            transfer_ns(100, 0)
+
+    def test_two_gib_at_optane_speed(self):
+        # Full 2 GiB flush at 2.2 GiB/s ≈ 0.91 s — why checkpoints
+        # can't be full every 10 ms.
+        ns = transfer_ns(2 * GIB, 2.2 * GIB)
+        assert 0.89 * SEC < ns < 0.93 * SEC
