@@ -58,6 +58,10 @@ class RedisWorld:
 
     def __init__(self):
         self.kernel = Kernel(memory_bytes=96 * GIB)
+        # Tracing stays on for every benchmark run: spans never charge
+        # the virtual clock, so the tables must come out byte-identical
+        # to an untraced run (results/ is diffed to prove it).
+        self.kernel.obs.enable()
         self.sls = SLS(self.kernel)
         self.server = RedisLikeServer(self.kernel, working_set=self.WORKING_SET)
         self.server.load_dataset()
@@ -85,6 +89,7 @@ class HelloWorld:
 
     def __init__(self):
         self.kernel = Kernel(memory_bytes=8 * GIB)
+        self.kernel.obs.enable()  # same determinism guarantee as RedisWorld
         self.sls = SLS(self.kernel)
         self.app = HelloWorldApp(self.kernel)
         self.app.initialize()

@@ -17,15 +17,29 @@ Because the kernel here is simulated, commands run inside a *session*
 - ``sls demo`` — a canned scenario exercising every Table 1 command;
 - ``sls script FILE`` — run commands from a file (``-`` for stdin);
 - ``sls shell`` — interactive prompt.
+
+Two observability modes (see OBSERVABILITY.md) run a target with
+tracing enabled and report what every kernel it booted recorded:
+
+- ``sls trace [FILE]`` — span trees + Table 3 reconciliation;
+- ``sls stats [FILE]`` — the counter/gauge/histogram registries.
+
+``FILE`` may be a Python program (run like ``python FILE``) or an sls
+command script; with no file the canned demo is traced.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import runpy
 import sys
 
+import repro.obs as obs
 from repro.cli.session import SlsSession
 from repro.errors import AuroraError
+from repro.obs import names as obs_names
 
 DEMO_SCRIPT = """\
 # Boot demo applications and exercise all eight Table 1 commands.
@@ -67,6 +81,85 @@ def run_lines(session: SlsSession, lines, echo: bool = True) -> int:
     return failures
 
 
+def _run_traced(file) -> object:
+    """Run the trace/stats target with tracing default-enabled.
+
+    Returns an object that keeps the program's kernels alive (the
+    observer registry only holds weak references), so the caller can
+    still read their tracers and registries afterwards.
+    """
+    obs.set_default_enabled(True)
+    try:
+        if file is None:
+            session = SlsSession()
+            run_lines(session, DEMO_SCRIPT.splitlines(), echo=False)
+            return session
+        if not os.path.exists(file):
+            raise SystemExit(f"sls: no such file: {file}")
+        if file.endswith(".py"):
+            try:
+                # The program's module globals hold its kernels.
+                return runpy.run_path(file, run_name="__main__")
+            except SystemExit:
+                return None
+        session = SlsSession()
+        with open(file) as handle:
+            run_lines(session, handle.read().splitlines(), echo=False)
+        return session
+    finally:
+        obs.set_default_enabled(False)
+
+
+def cmd_trace(args) -> int:
+    keep = _run_traced(args.file)
+    observers = obs.all_observers()
+    traced = [o for o in observers if o.tracer.roots() or o.tracer.events]
+    if not traced:
+        print("no spans recorded (did the target boot a kernel?)")
+        return 1
+    for kobs in traced:
+        roots = kobs.tracer.roots()
+        print(f"== kernel {kobs.label or '?'} ==")
+        print(obs.render_span_tree(roots, limit=args.limit))
+        recon = [
+            line
+            for root in roots
+            for span in root.walk()  # periodic ticks nest under barriers
+            if span.name == obs_names.SPAN_CHECKPOINT
+            if (line := obs.checkpoint_reconciliation(span)) is not None
+        ]
+        for line in recon:
+            print(line)
+    if args.json:
+        with open(args.json, "w") as handle:
+            total = 0
+            for kobs in traced:
+                for record in obs.trace_records(kobs.tracer):
+                    record["kernel"] = kobs.label
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                    total += 1
+        print(f"wrote {total} records to {args.json}")
+    del keep
+    return 0
+
+
+def cmd_stats(args) -> int:
+    keep = _run_traced(args.file)
+    observers = obs.all_observers()
+    shown = 0
+    for kobs in observers:
+        if not len(kobs.registry):
+            continue
+        shown += 1
+        print(f"== kernel {kobs.label or '?'} ==")
+        print(obs.render_registry(kobs.registry))
+    if not shown:
+        print("no instruments registered (did the target boot a kernel?)")
+        return 1
+    del keep
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="sls",
@@ -77,7 +170,26 @@ def main(argv=None) -> int:
     script = sub.add_parser("script", help="run commands from a file")
     script.add_argument("file", help="command file, or - for stdin")
     sub.add_parser("shell", help="interactive prompt")
+    trace = sub.add_parser(
+        "trace", help="run a program with tracing on; print span trees"
+    )
+    trace.add_argument("file", nargs="?", default=None,
+                       help="python program or sls script (default: demo)")
+    trace.add_argument("--json", metavar="PATH", default=None,
+                       help="also export the trace as JSON lines")
+    trace.add_argument("--limit", type=int, default=12,
+                       help="max root spans to print per kernel")
+    stats = sub.add_parser(
+        "stats", help="run a program with tracing on; print metric registries"
+    )
+    stats.add_argument("file", nargs="?", default=None,
+                       help="python program or sls script (default: demo)")
     args = parser.parse_args(argv)
+
+    if args.mode == "trace":
+        return cmd_trace(args)
+    if args.mode == "stats":
+        return cmd_stats(args)
 
     session = SlsSession()
     if args.mode in (None, "demo"):

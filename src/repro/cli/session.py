@@ -200,6 +200,34 @@ class SlsSession:
             f" downtime {fmt_time(rep.downtime_ns)}"
         )
 
+    # -- observability commands (OBSERVABILITY.md) ----------------------------
+
+    def cmd_stats(self) -> str:
+        """sls> stats — dump the local kernel's metric registry."""
+        from repro.obs import render_registry
+
+        return render_registry(self.kernel.obs.registry)
+
+    def cmd_trace(self, action: str = "show", *rest) -> str:
+        """sls> trace on|off|show [limit] — control/inspect tracing."""
+        from repro.obs import render_span_tree
+
+        obs = self.kernel.obs
+        if action == "on":
+            obs.enable()
+            return "tracing on"
+        if action == "off":
+            obs.disable()
+            return "tracing off"
+        if action == "show":
+            limit = int(rest[0]) if rest else 8
+            roots = obs.tracer.roots()
+            if not roots:
+                state = "on" if obs.enabled else "off"
+                return f"no spans recorded (tracing is {state})"
+            return render_span_tree(roots, limit=limit)
+        raise SlsError(f"unknown trace action {action!r} (on/off/show)")
+
     def cmd_recv(self, group_name: str) -> str:
         """sls recv — receive an application from a remote."""
         ready = self.receiver.pump(wait=True)
@@ -231,6 +259,8 @@ class SlsSession:
             "recv": self.cmd_recv,
             "rollback": self.cmd_rollback,
             "migrate": self.cmd_migrate,
+            "stats": self.cmd_stats,
+            "trace": self.cmd_trace,
         }
         handler = handlers.get(verb)
         if handler is None:

@@ -25,6 +25,7 @@ from repro.hw.device import StorageDevice
 from repro.hw.netdev import NetworkEndpoint
 from repro.mem.cow import FreezeSet
 from repro.mem.page import Page
+from repro.obs import names as obs_names
 from repro.objstore.record import encode
 from repro.objstore.store import ObjectStore, PageRef
 from repro.posix.kernel import Kernel
@@ -46,6 +47,13 @@ class Backend(abc.ABC):
 
     def bind(self, kernel: Kernel) -> None:
         self.kernel = kernel
+
+    def _count_flushed(self, nbytes: int) -> None:
+        """Attribute flushed bytes to this backend in the host registry."""
+        if self.kernel is not None:
+            self.kernel.obs.registry.counter(
+                obs_names.C_BYTES_FLUSHED, backend=self.name
+            ).inc(nbytes)
 
     @abc.abstractmethod
     def persist(self, image: CheckpointImage, freeze_set: FreezeSet,
@@ -69,6 +77,13 @@ class StoreBackend(Backend):
     def __init__(self, name: str, store: ObjectStore):
         super().__init__(name)
         self.store = store
+
+    def bind(self, kernel: Kernel) -> None:
+        super().bind(kernel)
+        # Attaching to a group is the natural moment to adopt the host
+        # kernel's observability plane (dedup/GC/segment counters).
+        if self.store.obs is None:
+            self.store.attach_obs(kernel.obs)
 
     def persist(self, image, freeze_set, parent):
         assert self.kernel is not None, "backend not bound to a kernel"
@@ -119,6 +134,7 @@ class StoreBackend(Backend):
         image.snapshots[self.name] = snapshot
         image.page_refs[self.name] = page_map
         image.metrics.bytes_flushed += snapshot.delta_bytes
+        self._count_flushed(snapshot.delta_bytes)
         # Durable once the device has drained everything just queued.
         deadline = self.store.device.pending_deadline()
         name = self.name
@@ -225,6 +241,7 @@ class RemoteBackend(Backend):
         self.images_sent += 1
         self.bytes_sent += len(payload)
         image.metrics.bytes_flushed += len(payload)
+        self._count_flushed(len(payload))
         name = self.name
         arrives = message.arrives_at
         if arrives <= self.kernel.clock.now:

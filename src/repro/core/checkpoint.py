@@ -49,6 +49,10 @@ class CheckpointImage:
     #: backends whose flush failed (I/O error); image absent there
     failed_backends: list = field(default_factory=list)
     _on_durable: list = field(default_factory=list)
+    #: observability hook fired once per backend as it confirms
+    #: durability: ``hook(backend_name, when_ns)`` (repro.obs flush-lag
+    #: telemetry; None when the host kernel has no interest)
+    backend_durable_hook: Optional[Callable[[str, int], None]] = None
     image_id: int = field(default_factory=itertools.count(1).__next__)
 
     # -- durability -------------------------------------------------------
@@ -63,7 +67,10 @@ class CheckpointImage:
         """
         if self.durable:
             return
+        newly_durable = backend_name not in self.durable_on
         self.durable_on.add(backend_name)
+        if newly_durable and self.backend_durable_hook is not None:
+            self.backend_durable_hook(backend_name, when_ns)
         needed = self.metrics.backends_expected if expected is None else expected
         if len(self.durable_on) >= needed:
             self.metrics.durable_at_ns = when_ns

@@ -3,13 +3,31 @@
 Every checkpoint and restore produces one of these records; the
 benchmark harness prints them in the paper's format and
 ``EXPERIMENTS.md`` compares them against the published numbers.
+
+Since the ``repro.obs`` observability layer landed, these records are
+*views over the trace*: the orchestrator and restore engine wrap each
+phase in a named span (`checkpoint.stop.metadata`,
+`restore.objstore_read`, ...) and :meth:`CheckpointMetrics.from_span`
+/ :meth:`RestoreMetrics.from_span` read the breakdown back out of the
+span tree.  The printed tables and a ``sls trace`` dump of the same
+run therefore cannot disagree — they are two renderings of one
+measurement.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.obs import names as obs_names
 from repro.units import fmt_time
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracer import Span
+
+#: checkpoint records retained per group by default
+DEFAULT_KEEP_HISTORY = 64
 
 
 @dataclass
@@ -33,6 +51,33 @@ class CheckpointMetrics:
     bytes_flushed: int = 0
     #: how many backends must confirm before the image is durable
     backends_expected: int = 1
+
+    @classmethod
+    def from_span(cls, span: "Span") -> "CheckpointMetrics":
+        """Derive the Table 3 record from an ``sls.checkpoint`` span.
+
+        The span tree is the measurement; this is the view.  Phase
+        durations come from the stop-phase child spans, the capture
+        counts from their attributes.  Flush-side fields
+        (``durable_at_ns``, ``bytes_flushed``) fill in later as the
+        asynchronous flush completes.
+        """
+        stop = span.child(obs_names.SPAN_CKPT_STOP)
+        meta = stop.child(obs_names.SPAN_CKPT_STOP_METADATA) if stop else None
+        arm = stop.child(obs_names.SPAN_CKPT_STOP_COW_ARM) if stop else None
+        return cls(
+            group=str(span.attrs.get("group", "")),
+            incremental=bool(span.attrs.get("incremental", False)),
+            metadata_copy_ns=meta.duration_ns if meta is not None else 0,
+            data_copy_ns=arm.duration_ns if arm is not None else 0,
+            stop_time_ns=stop.duration_ns if stop is not None else 0,
+            started_at_ns=span.start_ns,
+            pages_captured=int(arm.attrs.get("pages", 0)) if arm is not None else 0,
+            objects_serialized=(
+                int(meta.attrs.get("objects", 0)) if meta is not None else 0
+            ),
+            backends_expected=int(span.attrs.get("backends", 1)),
+        )
 
     @property
     def flush_lag_ns(self) -> int:
@@ -70,6 +115,28 @@ class RestoreMetrics:
     pages_lazy: int = 0
     objects_restored: int = 0
 
+    @classmethod
+    def from_span(cls, span: "Span") -> "RestoreMetrics":
+        """Derive the Table 4 record from an ``sls.restore`` span."""
+        read = span.child(obs_names.SPAN_RESTORE_READ)
+        meta = span.child(obs_names.SPAN_RESTORE_METADATA)
+        mem = span.child(obs_names.SPAN_RESTORE_MEMORY)
+        return cls(
+            group=str(span.attrs.get("group", "")),
+            backend=str(span.attrs.get("backend", "memory")),
+            lazy=bool(span.attrs.get("lazy", False)),
+            objstore_read_ns=read.duration_ns if read is not None else 0,
+            memory_ns=mem.duration_ns if mem is not None else 0,
+            metadata_ns=meta.duration_ns if meta is not None else 0,
+            pages_installed=(
+                int(mem.attrs.get("pages_installed", 0)) if mem is not None else 0
+            ),
+            pages_lazy=int(mem.attrs.get("pages_lazy", 0)) if mem is not None else 0,
+            objects_restored=(
+                int(meta.attrs.get("objects", 0)) if meta is not None else 0
+            ),
+        )
+
     @property
     def total_ns(self) -> int:
         return self.objstore_read_ns + self.memory_ns + self.metadata_ns
@@ -100,18 +167,23 @@ class GroupStats:
     total_stop_ns: int = 0
     total_pages_captured: int = 0
     total_bytes_flushed: int = 0
-    history: list[CheckpointMetrics] = field(default_factory=list)
+    #: bounded recent-checkpoint window; deque(maxlen) evicts in O(1)
+    #: (a plain list's pop(0) cost O(n) per checkpoint at 100 Hz)
+    history: deque = field(
+        default_factory=lambda: deque(maxlen=DEFAULT_KEEP_HISTORY)
+    )
 
-    def record(self, metrics: CheckpointMetrics, keep_history: int = 64) -> None:
+    def record(self, metrics: CheckpointMetrics,
+               keep_history: int = DEFAULT_KEEP_HISTORY) -> None:
         self.checkpoints_taken += 1
         if not metrics.incremental:
             self.full_checkpoints += 1
         self.total_stop_ns += metrics.stop_time_ns
         self.total_pages_captured += metrics.pages_captured
         self.total_bytes_flushed += metrics.bytes_flushed
+        if self.history.maxlen != keep_history:
+            self.history = deque(self.history, maxlen=keep_history)
         self.history.append(metrics)
-        if len(self.history) > keep_history:
-            self.history.pop(0)
 
     def mean_stop_ns(self) -> float:
         if not self.checkpoints_taken:

@@ -31,6 +31,7 @@ from repro.errors import (
     ObjectStoreError,
 )
 from repro.mem.vmobject import VMObject
+from repro.obs import names as obs_names
 from repro.posix.kernel import Container, Kernel
 from repro.posix.process import Process
 from repro.serial.procsnap import group_vm_objects, serialize_group
@@ -171,6 +172,8 @@ class SLS:
         mem = self.kernel.mem
         cpu = mem.cpu
         clock = self.kernel.clock
+        obs = self.kernel.obs
+        tracer = obs.tracer
 
         incremental = group.last_freeze_epoch is not None if full is None else not full
         if group.last_freeze_epoch is None:
@@ -180,103 +183,146 @@ class SLS:
             incremental = False
             group.force_full = False
 
-        metrics = CheckpointMetrics(
+        # The span tree IS the measurement: CheckpointMetrics (the
+        # Table 3 record) is derived from it below, so the trace and
+        # the printed breakdown cannot disagree.
+        with tracer.span(
+            obs_names.SPAN_CHECKPOINT,
             group=group.name,
             incremental=incremental,
-            started_at_ns=clock.now,
-            backends_expected=len(group.backends),
-        )
-
-        # --- serialization barrier: stop every process -------------------
-        for proc in procs:
-            proc.stop_all_threads()
-            mem.charge(cpu.proc_stop_ns)
-
-        # --- metadata copy ------------------------------------------------
-        with clock.region() as meta_region:
-            mem.charge(cpu.ckpt_fixed_ns)
-            meta, ctx = serialize_group(procs, self.kernel)
-            mem.charge(ctx.objects_serialized * cpu.object_serialize_ns)
-            objects = self._checkpointable_objects(procs)
-            if not incremental:
-                resident = sum(o.resident_count() for o in objects)
-                mem.charge(resident * cpu.page_meta_full_ns)
-        metrics.metadata_copy_ns = meta_region.elapsed
-        metrics.objects_serialized = ctx.objects_serialized
-
-        # External consistency: cut the held streams at the barrier.
-        cuts = group.extcons.mark_barrier() if group.extcons else {}
-
-        # --- lazy data copy: arm COW over the capture set ------------------
-        with clock.region() as data_region:
-            since = None if not incremental else group.last_freeze_epoch + 1
-            freeze_set = self.kernel.cow.freeze(objects, incremental_since=since)
-        metrics.data_copy_ns = data_region.elapsed
-        metrics.pages_captured = len(freeze_set)
-        group.last_freeze_epoch = freeze_set.epoch
-
-        # Hot-set hint for lazy restores: the pages captured by this
-        # freeze are the most recently written — the clock algorithm's
-        # best guess at the working set ("eagerly paging in the hottest
-        # pages to avoid excessive page faults").  The prefetch budget
-        # is bounded so a lazy restore of a full image stays lazy.
-        budget = min(4096, max(64, len(freeze_set) // 10))
-        hot: dict[int, list[int]] = {}
-        for frozen in freeze_set.pages[:budget]:
-            hot.setdefault(frozen.obj.oid, []).append(frozen.pindex)
-        meta["hot"] = hot
-
-        # --- resume -----------------------------------------------------------
-        for proc in procs:
-            proc.resume_all_threads()
-        metrics.stop_time_ns = clock.now - metrics.started_at_ns
-
-        # --- asynchronous flush to every backend --------------------------------
-        parent = group.latest_image
-        image = CheckpointImage(
-            name=name or f"{group.name}@{freeze_set.epoch}",
-            group_name=group.name,
-            epoch=freeze_set.epoch,
-            incremental=incremental,
-            meta=meta,
-            parent=parent,
-            metrics=metrics,
-        )
-        failures: list[tuple[str, Exception]] = []
-        for backend in group.backends:
-            try:
-                backend.persist(image, freeze_set, parent)
-            except (HardwareError, ObjectStoreError) as exc:
-                # A failed backend must not lose the checkpoint on the
-                # healthy ones; durability expectation shrinks.
-                failures.append((backend.name, exc))
-                image.metrics.backends_expected -= 1
-        if failures and image.metrics.backends_expected == 0:
-            for frozen in freeze_set.pages:
-                self.kernel.phys.release(frozen.page)
-            raise CheckpointError(
-                f"every backend failed: "
-                + "; ".join(f"{name}: {exc}" for name, exc in failures)
+            backends=len(group.backends),
+        ) as ckpt_span:
+            tracer.event(
+                obs_names.EV_BARRIER_ENTER, group=group.name, procs=len(procs)
             )
-        image.failed_backends = [name for name, _ in failures]
-        # A backend may already have been the last one standing.
-        if image.durable_on and not image.durable:
-            image.mark_durable(next(iter(image.durable_on)),
-                               self.kernel.clock.now)
+            with tracer.span(obs_names.SPAN_CKPT_STOP) as stop_span:
+                # --- serialization barrier: stop every process -----------
+                for proc in procs:
+                    proc.stop_all_threads()
+                    mem.charge(cpu.proc_stop_ns)
 
-        # The freeze pass held one reference per captured frame.  If a
-        # memory backend captured the image it now owns those holds;
-        # otherwise the content lives in store/remote copies and the
-        # holds are dropped.
-        if group.memory_backend() is None:
-            for frozen in freeze_set.pages:
-                self.kernel.phys.release(frozen.page)
+                # --- metadata copy ---------------------------------------
+                with tracer.span(obs_names.SPAN_CKPT_STOP_METADATA) as meta_span:
+                    mem.charge(cpu.ckpt_fixed_ns)
+                    meta, ctx = serialize_group(procs, self.kernel)
+                    mem.charge(ctx.objects_serialized * cpu.object_serialize_ns)
+                    objects = self._checkpointable_objects(procs)
+                    if not incremental:
+                        resident = sum(o.resident_count() for o in objects)
+                        mem.charge(resident * cpu.page_meta_full_ns)
+                    meta_span.set(objects=ctx.objects_serialized)
 
-        if group.extcons is not None:
-            extcons = group.extcons
-            image.on_durable(lambda _img: extcons.on_checkpoint_durable(cuts))
-        group.add_image(image)
-        group.stats.record(metrics)
+                # External consistency: cut the held streams at the barrier.
+                cuts = group.extcons.mark_barrier() if group.extcons else {}
+
+                # --- lazy data copy: arm COW over the capture set --------
+                with tracer.span(obs_names.SPAN_CKPT_STOP_COW_ARM) as arm_span:
+                    since = None if not incremental else group.last_freeze_epoch + 1
+                    freeze_set = self.kernel.cow.freeze(
+                        objects, incremental_since=since
+                    )
+                    arm_span.set(pages=len(freeze_set), epoch=freeze_set.epoch)
+                group.last_freeze_epoch = freeze_set.epoch
+
+                # Hot-set hint for lazy restores: the pages captured by
+                # this freeze are the most recently written — the clock
+                # algorithm's best guess at the working set ("eagerly
+                # paging in the hottest pages to avoid excessive page
+                # faults").  The prefetch budget is bounded so a lazy
+                # restore of a full image stays lazy.
+                budget = min(4096, max(64, len(freeze_set) // 10))
+                hot: dict[int, list[int]] = {}
+                for frozen in freeze_set.pages[:budget]:
+                    hot.setdefault(frozen.obj.oid, []).append(frozen.pindex)
+                meta["hot"] = hot
+
+                # --- resume ----------------------------------------------
+                for proc in procs:
+                    proc.resume_all_threads()
+            tracer.event(
+                obs_names.EV_BARRIER_EXIT,
+                group=group.name,
+                stop_ns=stop_span.duration_ns,
+            )
+
+            metrics = CheckpointMetrics.from_span(ckpt_span)
+            resumed_at = clock.now
+
+            # --- asynchronous flush to every backend ----------------------
+            parent = group.latest_image
+            image = CheckpointImage(
+                name=name or f"{group.name}@{freeze_set.epoch}",
+                group_name=group.name,
+                epoch=freeze_set.epoch,
+                incremental=incremental,
+                meta=meta,
+                parent=parent,
+                metrics=metrics,
+            )
+
+            def _observe_backend_durable(backend_name: str, when_ns: int,
+                                         _group=group.name, _resumed=resumed_at):
+                # Per-backend flush lag: resume-to-durable, the async
+                # tail behind Table 3's stop time.
+                lag = max(0, when_ns - _resumed)
+                obs.registry.histogram(
+                    obs_names.H_FLUSH_LAG, backend=backend_name
+                ).observe(lag)
+                tracer.event(
+                    obs_names.EV_BACKEND_DURABLE,
+                    backend=backend_name, group=_group, lag_ns=lag,
+                )
+
+            image.backend_durable_hook = _observe_backend_durable
+
+            failures: list[tuple[str, Exception]] = []
+            with tracer.span(
+                obs_names.SPAN_CKPT_FLUSH_SUBMIT, backends=len(group.backends)
+            ) as flush_span:
+                for backend in group.backends:
+                    try:
+                        backend.persist(image, freeze_set, parent)
+                    except (HardwareError, ObjectStoreError) as exc:
+                        # A failed backend must not lose the checkpoint on
+                        # the healthy ones; durability expectation shrinks.
+                        failures.append((backend.name, exc))
+                        image.metrics.backends_expected -= 1
+                flush_span.set(bytes=image.metrics.bytes_flushed)
+            if failures and image.metrics.backends_expected == 0:
+                for frozen in freeze_set.pages:
+                    self.kernel.phys.release(frozen.page)
+                raise CheckpointError(
+                    f"every backend failed: "
+                    + "; ".join(f"{name}: {exc}" for name, exc in failures)
+                )
+            image.failed_backends = [name for name, _ in failures]
+            # A backend may already have been the last one standing.
+            if image.durable_on and not image.durable:
+                image.mark_durable(next(iter(image.durable_on)),
+                                   self.kernel.clock.now)
+
+            # The freeze pass held one reference per captured frame.  If a
+            # memory backend captured the image it now owns those holds;
+            # otherwise the content lives in store/remote copies and the
+            # holds are dropped.
+            if group.memory_backend() is None:
+                for frozen in freeze_set.pages:
+                    self.kernel.phys.release(frozen.page)
+
+            if group.extcons is not None:
+                extcons = group.extcons
+                image.on_durable(lambda _img: extcons.on_checkpoint_durable(cuts))
+            group.add_image(image)
+            group.stats.record(metrics)
+
+        reg = obs.registry
+        reg.counter(obs_names.C_CHECKPOINTS, group=group.name).inc()
+        reg.counter(
+            obs_names.C_PAGES_CAPTURED, group=group.name
+        ).inc(metrics.pages_captured)
+        reg.histogram(
+            obs_names.H_STOP_TIME, group=group.name
+        ).observe(metrics.stop_time_ns)
         return image
 
     # -- durability ---------------------------------------------------------------------
@@ -291,16 +337,19 @@ class SLS:
         if image is None:
             return self.kernel.clock.now
         guard = 0
-        while not image.durable:
-            deadline = self.kernel.events.next_deadline()
-            if deadline is None:
-                # No pending flush event can complete it (e.g. memory
-                # backend already durable) — nothing to wait for.
-                break
-            self.kernel.events.run_until(deadline)
-            guard += 1
-            if guard > 1_000_000:
-                raise CheckpointError("barrier did not converge")
+        with self.kernel.obs.tracer.span(
+            obs_names.SPAN_BARRIER, group=group.name, image=image.name
+        ):
+            while not image.durable:
+                deadline = self.kernel.events.next_deadline()
+                if deadline is None:
+                    # No pending flush event can complete it (e.g. memory
+                    # backend already durable) — nothing to wait for.
+                    break
+                self.kernel.events.run_until(deadline)
+                guard += 1
+                if guard > 1_000_000:
+                    raise CheckpointError("barrier did not converge")
         return self.kernel.clock.now
 
     # -- restore / rollback (delegated) -----------------------------------------------------

@@ -21,6 +21,7 @@ from repro.core.backends import StoreBackend
 from repro.core.checkpoint import CheckpointImage
 from repro.core.metrics import RestoreMetrics
 from repro.errors import RestoreError
+from repro.obs import names as obs_names
 from repro.objstore.store import ObjectStore, PageRef
 from repro.posix.kernel import Kernel
 from repro.posix.process import Process
@@ -190,33 +191,37 @@ class RestoreEngine:
             raise RestoreError("image has no in-memory pages")
         mem = kernel.mem
         cpu = mem.cpu
-        metrics = RestoreMetrics(group=image.group_name, backend="memory", lazy=lazy)
+        tracer = kernel.obs.tracer
 
-        with kernel.clock.region() as meta_region:
-            procs, ctx = restore_group(
-                image.meta,
-                kernel,
-                preserve_pids=not new_instance,
-                name_suffix=name_suffix,
-            )
-            mem.charge(cpu.restore_fixed_ns)
-            mem.charge(ctx.objects_restored * cpu.object_restore_ns)
-        metrics.metadata_ns = meta_region.elapsed
-        metrics.objects_restored = ctx.objects_restored
+        with tracer.span(
+            obs_names.SPAN_RESTORE,
+            group=image.group_name, backend="memory", lazy=lazy,
+        ) as root:
+            with tracer.span(obs_names.SPAN_RESTORE_METADATA) as meta_span:
+                procs, ctx = restore_group(
+                    image.meta,
+                    kernel,
+                    preserve_pids=not new_instance,
+                    name_suffix=name_suffix,
+                )
+                mem.charge(cpu.restore_fixed_ns)
+                mem.charge(ctx.objects_restored * cpu.object_restore_ns)
+                meta_span.set(objects=ctx.objects_restored)
 
-        with kernel.clock.region() as mem_region:
-            installed = 0
-            for oid, pages in image.memory_pages.items():
-                obj = ctx.vm_objects.get(oid)
-                if obj is None:
-                    continue
-                installed += install_memory_pages(obj, pages, kernel.phys)
-            mem.charge(ctx.aspaces_created * cpu.aspace_create_ns)
-            mem.charge(ctx.entries_restored * cpu.map_entry_restore_ns)
-            mem.charge(installed * cpu.pte_share_ns)
-        metrics.memory_ns = mem_region.elapsed
-        metrics.pages_installed = installed
+            with tracer.span(obs_names.SPAN_RESTORE_MEMORY) as mem_span:
+                installed = 0
+                for oid, pages in image.memory_pages.items():
+                    obj = ctx.vm_objects.get(oid)
+                    if obj is None:
+                        continue
+                    installed += install_memory_pages(obj, pages, kernel.phys)
+                mem.charge(ctx.aspaces_created * cpu.aspace_create_ns)
+                mem.charge(ctx.entries_restored * cpu.map_entry_restore_ns)
+                mem.charge(installed * cpu.pte_share_ns)
+                mem_span.set(pages_installed=installed, pages_lazy=0)
 
+        metrics = RestoreMetrics.from_span(root)
+        self._count_restore(kernel, metrics)
         self._resume(procs)
         return procs, metrics
 
@@ -238,91 +243,107 @@ class RestoreEngine:
             raise RestoreError(f"image not present on backend {backend_name!r}")
         mem = kernel.mem
         cpu = mem.cpu
-        metrics = RestoreMetrics(
-            group=image.group_name, backend=backend_name, lazy=lazy
-        )
+        tracer = kernel.obs.tracer
         discount = cpu.implicit_restore_discount
 
-        # --- phase 1: object store read ------------------------------------
-        with kernel.clock.region() as read_region:
-            snapshot = image.snapshots.get(backend_name)
-            if snapshot is not None and snapshot.snap_id in (
-                s.snap_id for s in store.snapshots()
-            ):
-                _value, records, _pages = store.load_manifest(snapshot)
-                meta = store.read_meta(records[0]) if records else image.meta
-                if isinstance(meta, dict) and "pagemap_delta" in meta:
-                    meta = meta["meta"]
-            else:
-                meta = image.meta
-            payloads: dict[bytes, bytes] = {}
-            if not lazy:
-                all_refs = [
-                    ref
-                    for pages in page_refs.values()
-                    for ref in pages.values()
-                    if isinstance(ref, PageRef)
-                ]
-                payloads = store.read_pages_coalesced(all_refs)
-            elif prefetch_hot:
-                hot = meta.get("hot") or {}
-                hot_refs = []
-                for oid, pindexes in hot.items():
-                    obj_refs = page_refs.get(oid, {})
-                    hot_refs.extend(
-                        obj_refs[p] for p in pindexes if p in obj_refs
-                    )
-                payloads = store.read_pages_coalesced(hot_refs)
-        metrics.objstore_read_ns = read_region.elapsed
-
-        # --- phase 2: metadata state ------------------------------------------
-        with kernel.clock.region() as meta_region:
-            procs, ctx = restore_group(
-                meta,
-                kernel,
-                preserve_pids=not new_instance,
-                name_suffix=name_suffix,
-            )
-            mem.charge(cpu.restore_fixed_ns * discount)
-            mem.charge(ctx.objects_restored * cpu.object_restore_ns)
-        metrics.metadata_ns = meta_region.elapsed
-        metrics.objects_restored = ctx.objects_restored
-
-        # --- phase 3: memory state ----------------------------------------------
-        with kernel.clock.region() as mem_region:
-            installed = 0
-            lazy_pages = 0
-            for oid, refs in page_refs.items():
-                obj = ctx.vm_objects.get(oid)
-                if obj is None:
-                    continue
-                typed_refs = {
-                    p: r for p, r in refs.items() if isinstance(r, PageRef)
-                }
-                if lazy:
-                    obj.pager = make_store_pager(store, typed_refs, mem)
-                    # Prefetch whatever the hot read brought in.
-                    ready = {
-                        p: payloads[r.content_hash]
-                        for p, r in typed_refs.items()
-                        if r.content_hash in payloads
-                    }
-                    installed += install_store_pages(obj, ready, kernel.phys, mem)
-                    lazy_pages += len(typed_refs) - len(ready)
+        with tracer.span(
+            obs_names.SPAN_RESTORE,
+            group=image.group_name, backend=backend_name, lazy=lazy,
+        ) as root:
+            # --- phase 1: object store read ------------------------------------
+            with tracer.span(obs_names.SPAN_RESTORE_READ) as read_span:
+                snapshot = image.snapshots.get(backend_name)
+                if snapshot is not None and snapshot.snap_id in (
+                    s.snap_id for s in store.snapshots()
+                ):
+                    _value, records, _pages = store.load_manifest(snapshot)
+                    meta = store.read_meta(records[0]) if records else image.meta
+                    if isinstance(meta, dict) and "pagemap_delta" in meta:
+                        meta = meta["meta"]
                 else:
-                    ready = {
-                        p: payloads[r.content_hash] for p, r in typed_refs.items()
-                    }
-                    installed += install_store_pages(obj, ready, kernel.phys, mem)
-            mem.charge(ctx.aspaces_created * cpu.aspace_create_ns * discount)
-            mem.charge(ctx.entries_restored * cpu.map_entry_restore_ns)
-            mem.charge(installed * cpu.pte_share_ns)
-        metrics.memory_ns = mem_region.elapsed
-        metrics.pages_installed = installed
-        metrics.pages_lazy = lazy_pages
+                    meta = image.meta
+                payloads: dict[bytes, bytes] = {}
+                if not lazy:
+                    all_refs = [
+                        ref
+                        for pages in page_refs.values()
+                        for ref in pages.values()
+                        if isinstance(ref, PageRef)
+                    ]
+                    payloads = store.read_pages_coalesced(all_refs)
+                elif prefetch_hot:
+                    hot = meta.get("hot") or {}
+                    hot_refs = []
+                    for oid, pindexes in hot.items():
+                        obj_refs = page_refs.get(oid, {})
+                        hot_refs.extend(
+                            obj_refs[p] for p in pindexes if p in obj_refs
+                        )
+                    payloads = store.read_pages_coalesced(hot_refs)
+                read_span.set(pages_read=len(payloads))
 
+            # --- phase 2: metadata state ------------------------------------------
+            with tracer.span(obs_names.SPAN_RESTORE_METADATA) as meta_span:
+                procs, ctx = restore_group(
+                    meta,
+                    kernel,
+                    preserve_pids=not new_instance,
+                    name_suffix=name_suffix,
+                )
+                mem.charge(cpu.restore_fixed_ns * discount)
+                mem.charge(ctx.objects_restored * cpu.object_restore_ns)
+                meta_span.set(objects=ctx.objects_restored)
+
+            # --- phase 3: memory state ----------------------------------------------
+            with tracer.span(obs_names.SPAN_RESTORE_MEMORY) as mem_span:
+                installed = 0
+                lazy_pages = 0
+                for oid, refs in page_refs.items():
+                    obj = ctx.vm_objects.get(oid)
+                    if obj is None:
+                        continue
+                    typed_refs = {
+                        p: r for p, r in refs.items() if isinstance(r, PageRef)
+                    }
+                    if lazy:
+                        obj.pager = make_store_pager(store, typed_refs, mem)
+                        # Prefetch whatever the hot read brought in.
+                        ready = {
+                            p: payloads[r.content_hash]
+                            for p, r in typed_refs.items()
+                            if r.content_hash in payloads
+                        }
+                        installed += install_store_pages(obj, ready, kernel.phys, mem)
+                        lazy_pages += len(typed_refs) - len(ready)
+                    else:
+                        ready = {
+                            p: payloads[r.content_hash] for p, r in typed_refs.items()
+                        }
+                        installed += install_store_pages(obj, ready, kernel.phys, mem)
+                mem.charge(ctx.aspaces_created * cpu.aspace_create_ns * discount)
+                mem.charge(ctx.entries_restored * cpu.map_entry_restore_ns)
+                mem.charge(installed * cpu.pte_share_ns)
+                mem_span.set(pages_installed=installed, pages_lazy=lazy_pages)
+
+        metrics = RestoreMetrics.from_span(root)
+        self._count_restore(kernel, metrics)
         self._resume(procs)
         return procs, metrics
+
+    @staticmethod
+    def _count_restore(kernel: Kernel, metrics: RestoreMetrics) -> None:
+        reg = kernel.obs.registry
+        labels = {"group": metrics.group, "backend": metrics.backend}
+        reg.counter(obs_names.C_RESTORES, **labels).inc()
+        reg.counter(obs_names.C_RESTORE_PAGES_INSTALLED, **labels).inc(
+            metrics.pages_installed
+        )
+        reg.counter(obs_names.C_RESTORE_PAGES_LAZY, **labels).inc(
+            metrics.pages_lazy
+        )
+        reg.histogram(obs_names.H_RESTORE_TOTAL, **labels).observe(
+            metrics.total_ns
+        )
 
     @staticmethod
     def _resume(procs: list[Process]) -> None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import names as obs_names
 from repro.objstore.store import ObjectStore
 
 
@@ -33,6 +34,32 @@ class GarbageCollector:
         Bounding the batch lets the orchestrator interleave GC with
         checkpointing instead of stalling.
         """
+        obs = self.store.obs
+        if obs is None:
+            return self._collect(limit)
+        with obs.tracer.span(
+            obs_names.SPAN_GC, store=self.store.device.name
+        ) as span:
+            report = self._collect(limit)
+            span.set(extents=report.extents_freed, bytes=report.bytes_freed)
+        if report.extents_freed:
+            store_name = self.store.device.name
+            reg = obs.registry
+            reg.counter(
+                obs_names.C_GC_EXTENTS_FREED, store=store_name
+            ).inc(report.extents_freed)
+            reg.counter(
+                obs_names.C_GC_BYTES_FREED, store=store_name
+            ).inc(report.bytes_freed)
+            obs.tracer.event(
+                obs_names.EV_GC_RECLAIM,
+                store=store_name,
+                extents=report.extents_freed,
+                bytes=report.bytes_freed,
+            )
+        return report
+
+    def _collect(self, limit: int | None) -> GcReport:
         report = GcReport()
         budget = limit if limit is not None else len(self.store.garbage)
         while self.store.garbage and report.extents_freed < budget:

@@ -17,11 +17,12 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ChecksumError, NoSuchObject, ObjectStoreError
 from repro.hw.device import StorageDevice
 from repro.mem.address_space import MemContext
+from repro.obs import names as obs_names
 from repro.objstore.alloc import Extent, ExtentAllocator
 from repro.objstore.block import Volume
 from repro.objstore.dedup import DedupIndex
@@ -37,6 +38,9 @@ from repro.objstore.record import (
 )
 from repro.objstore.snapshot import Snapshot, SnapshotDirectory
 from repro.units import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import KernelObs
 
 #: reads of nearby extents are coalesced into one device op when the
 #: gap between them is below this (restore-path sequential-read model)
@@ -92,11 +96,29 @@ class ObjectStore:
         self.dedup = DedupIndex()
         self.directory = SnapshotDirectory()
         self.stats = StoreStats()
+        self.obs: Optional["KernelObs"] = None
+        self._c_pages = self._c_dedup = self._c_meta = None
+        self._c_bytes = self._c_snaps = self._c_snaps_del = None
         #: metadata/manifest record refcounts keyed by extent offset
         self._meta_refs: dict[int, tuple[Extent, int]] = {}
         #: extents freed by refcount-zero, awaiting in-place GC
         self.garbage: list[Extent] = []
         self._bytes_since_commit = 0
+
+    def attach_obs(self, obs: "KernelObs") -> None:
+        """Adopt a kernel's observability plane (instruments cached —
+        ``write_page`` runs once per captured page at checkpoint rate)."""
+        self.obs = obs
+        reg = obs.registry
+        store = self.device.name
+        self._c_pages = reg.counter(obs_names.C_STORE_PAGES_WRITTEN, store=store)
+        self._c_dedup = reg.counter(obs_names.C_STORE_PAGES_DEDUPED, store=store)
+        self._c_meta = reg.counter(obs_names.C_STORE_META_RECORDS, store=store)
+        self._c_bytes = reg.counter(obs_names.C_STORE_BYTES_WRITTEN, store=store)
+        self._c_snaps = reg.counter(obs_names.C_STORE_SNAPSHOTS, store=store)
+        self._c_snaps_del = reg.counter(
+            obs_names.C_STORE_SNAPSHOTS_DELETED, store=store
+        )
 
     # -- internals -------------------------------------------------------------
 
@@ -115,6 +137,8 @@ class ObjectStore:
         size = max(len(record), logical or 0)
         self.stats.bytes_written += size
         self._bytes_since_commit += size
+        if self.obs is not None:
+            self._c_bytes.inc(size)
         return extent
 
     def _read_record(self, extent: Extent, expect_kind: int) -> tuple[int, bytes]:
@@ -133,6 +157,8 @@ class ObjectStore:
         payload = encode(value)
         extent = self._write_record(KIND_META, oid, epoch, payload, sync)
         self.stats.meta_records_written += 1
+        if self.obs is not None:
+            self._c_meta.inc()
         return MetaRef(oid=oid, extent=extent)
 
     def read_meta(self, ref: MetaRef):
@@ -157,6 +183,8 @@ class ObjectStore:
         entry = self.dedup.lookup(content_hash)
         if entry is not None:
             self.stats.pages_deduped += 1
+            if self.obs is not None:
+                self._c_dedup.inc()
             return PageRef(
                 content_hash=content_hash,
                 extent=entry.extent,
@@ -168,6 +196,8 @@ class ObjectStore:
         )
         self.dedup.insert(content_hash, extent)
         self.stats.pages_written += 1
+        if self.obs is not None:
+            self._c_pages.inc()
         return PageRef(
             content_hash=content_hash, extent=extent, length=len(payload)
         )
@@ -268,6 +298,8 @@ class ObjectStore:
         self.directory.add(snapshot)
         self.volume.write_superblock(encode(self.directory.encode()), sync=sync)
         self.stats.snapshots_committed += 1
+        if self.obs is not None:
+            self._c_snaps.inc()
         return snapshot
 
     def load_manifest(self, snapshot: Snapshot) -> tuple[object, list[MetaRef], list[PageRef]]:
@@ -298,6 +330,8 @@ class ObjectStore:
         self.directory.remove(snap_id)
         self.volume.write_superblock(encode(self.directory.encode()), sync=sync)
         self.stats.snapshots_deleted += 1
+        if self.obs is not None:
+            self._c_snaps_del.inc()
 
     def _release_meta(self, extent: Extent) -> None:
         stored = self._meta_refs.get(extent.offset)

@@ -1,0 +1,145 @@
+"""``repro.obs`` — unified observability for the SLS pipeline.
+
+The paper's argument is a set of measured breakdowns (Table 3 stop
+phases, Table 4 restore phases, 100 checkpoints/sec); this package is
+the measurement substrate behind them:
+
+- :class:`~repro.obs.tracer.Tracer` — tracepoints and nested spans
+  keyed to the simulated clock; zero overhead when disabled and *zero
+  virtual-time cost always* (tracing never charges the clock, so
+  enabling it changes no benchmark number).
+- :class:`~repro.obs.registry.Registry` — typed counters, gauges, and
+  histograms, global per kernel.
+- :mod:`~repro.obs.export` — JSON-lines trace export/import;
+  :mod:`~repro.obs.render` — the human-readable views behind the
+  ``sls trace`` and ``sls stats`` CLI subcommands.
+
+Every kernel owns one :class:`KernelObs` (``kernel.obs``).  The
+Table 3/4 records in :mod:`repro.core.metrics` are *derived from* the
+span tree (``CheckpointMetrics.from_span``), so the printed tables and
+the trace can never disagree.
+
+Tracing defaults off; flip it per kernel (``kernel.obs.enable()``) or
+process-wide before kernels boot (:func:`set_default_enabled`, which
+is how ``sls trace examples/quickstart.py`` observes an unmodified
+example script).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs import names
+from repro.obs.export import (
+    dump_jsonl,
+    dumps_jsonl,
+    load_jsonl,
+    spans_from_records,
+    trace_records,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    ObsError,
+    Registry,
+)
+from repro.obs.render import (
+    checkpoint_reconciliation,
+    render_registry,
+    render_span_tree,
+)
+from repro.obs.tracer import Span, TraceEvent, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clock import SimClock
+
+#: process-wide default for newly created tracers (see set_default_enabled)
+_DEFAULT_ENABLED = False
+
+#: every live KernelObs, in creation order (weakly held)
+_OBSERVERS: list = []
+
+
+def set_default_enabled(flag: bool) -> None:
+    """Make kernels booted from now on start with tracing on/off.
+
+    This is how the CLI traces *unmodified* programs: ``sls trace
+    FILE.py`` flips the default, runs the file, and then reads the
+    spans back out of every kernel the program created.
+    """
+    global _DEFAULT_ENABLED
+    _DEFAULT_ENABLED = bool(flag)
+
+
+def default_enabled() -> bool:
+    return _DEFAULT_ENABLED
+
+
+def all_observers() -> "list[KernelObs]":
+    """Every live :class:`KernelObs`, oldest first."""
+    alive = []
+    live_refs = []
+    for ref in _OBSERVERS:
+        obs = ref()
+        if obs is not None:
+            alive.append(obs)
+            live_refs.append(ref)
+    _OBSERVERS[:] = live_refs
+    return alive
+
+
+class KernelObs:
+    """One kernel's observability plane: tracer + metric registry."""
+
+    def __init__(self, clock: "SimClock", label: str = "",
+                 enabled: Optional[bool] = None):
+        self.label = label
+        self.tracer = Tracer(
+            clock, enabled=_DEFAULT_ENABLED if enabled is None else enabled
+        )
+        self.registry = Registry()
+        _OBSERVERS.append(weakref.ref(self))
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    def enable(self) -> None:
+        self.tracer.enable()
+
+    def disable(self) -> None:
+        self.tracer.disable()
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (
+            f"<KernelObs {self.label!r} tracing={state}"
+            f" instruments={len(self.registry)}>"
+        )
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelObs",
+    "ObsError",
+    "Registry",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "all_observers",
+    "checkpoint_reconciliation",
+    "default_enabled",
+    "dump_jsonl",
+    "dumps_jsonl",
+    "load_jsonl",
+    "names",
+    "render_registry",
+    "render_span_tree",
+    "set_default_enabled",
+    "spans_from_records",
+    "trace_records",
+]

@@ -1,0 +1,94 @@
+"""JSON-lines trace export and re-import.
+
+One line per finished span (children referenced by ``parent`` id,
+scoped tracepoints inlined under ``events``) plus one line per
+span-less tracepoint.  The format round-trips: ``load_jsonl`` +
+``spans_from_records`` rebuild the span tree with identical names,
+timings, attributes, and events — see ``OBSERVABILITY.md`` for the
+schema and a worked example.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Union
+
+from repro.obs.tracer import Span, TraceEvent, Tracer
+
+
+def trace_records(tracer: Tracer) -> list[dict]:
+    """Every retained span (pre-order) and top-level event, as dicts."""
+    records: list[dict] = []
+    span_ids = set()
+    for root in tracer.roots():
+        for span in root.walk():
+            span_ids.add(span.span_id)
+            records.append(span.to_dict())
+    for event in tracer.events:
+        if event.span_id is None or event.span_id not in span_ids:
+            records.append(event.to_dict())
+    return records
+
+
+def dumps_jsonl(tracer: Tracer) -> str:
+    """Serialize the retained trace as JSON-lines text."""
+    return "".join(json.dumps(r, sort_keys=True) + "\n" for r in trace_records(tracer))
+
+
+def dump_jsonl(tracer: Tracer, fp: IO[str]) -> int:
+    """Write the trace to an open text file; returns lines written."""
+    text = dumps_jsonl(tracer)
+    fp.write(text)
+    return text.count("\n")
+
+
+def load_jsonl(source: Union[str, IO[str]]) -> list[dict]:
+    """Parse JSON-lines text (or an open file) back into records."""
+    text = source if isinstance(source, str) else source.read()
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def spans_from_records(records: Iterable[dict]) -> list[Span]:
+    """Rebuild the span forest from exported records.
+
+    Returns the root spans; children/events are reattached exactly as
+    exported.  Detached spans (``tracer=None``) report closed-interval
+    durations only.
+    """
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    ordered = [r for r in records if r.get("type") == "span"]
+    for rec in ordered:
+        span = Span(
+            tracer=None,
+            name=rec["name"],
+            span_id=rec["id"],
+            start_ns=rec["start_ns"],
+            attrs=dict(rec.get("attrs") or {}),
+        )
+        span.end_ns = rec.get("end_ns", rec["start_ns"])
+        for ev in rec.get("events") or []:
+            span.events.append(
+                TraceEvent(
+                    name=ev["name"],
+                    t_ns=ev["t_ns"],
+                    span_id=rec["id"],
+                    attrs=dict(ev.get("attrs") or {}),
+                )
+            )
+        by_id[span.span_id] = span
+    for rec in ordered:
+        span = by_id[rec["id"]]
+        parent_id = rec.get("parent")
+        parent = by_id.get(parent_id) if parent_id is not None else None
+        if parent is not None:
+            span.parent = parent
+            parent.children.append(span)
+        else:
+            roots.append(span)
+    return roots

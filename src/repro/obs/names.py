@@ -1,0 +1,101 @@
+"""Canonical names for every span, tracepoint, and metric.
+
+One flat catalogue so instrumented modules and the documentation
+(``OBSERVABILITY.md``) can never drift apart: the docs test asserts
+that every name shipped here is documented, and modules import these
+constants instead of spelling strings inline.
+
+Naming convention:
+
+- spans: ``<subsystem>.<operation>`` with dotted sub-phases
+  (``checkpoint.stop.metadata``); the span taxonomy mirrors the rows
+  of the paper's Tables 3 and 4.
+- point events (tracepoints): past-tense moments inside or between
+  spans (``backend.durable``).
+- counters end in ``_total``; histograms carry their unit (``_ns``);
+  gauges name the quantity they track.
+"""
+
+from __future__ import annotations
+
+# --- spans (Table 3: checkpoint stop-time phases) ---------------------------
+
+SPAN_CHECKPOINT = "sls.checkpoint"
+SPAN_CKPT_STOP = "checkpoint.stop"
+SPAN_CKPT_STOP_METADATA = "checkpoint.stop.metadata"
+SPAN_CKPT_STOP_COW_ARM = "checkpoint.stop.cow_arm"
+SPAN_CKPT_FLUSH_SUBMIT = "checkpoint.flush.submit"
+SPAN_BARRIER = "sls.barrier"
+
+# --- spans (Table 4: restore phases) -----------------------------------------
+
+SPAN_RESTORE = "sls.restore"
+SPAN_RESTORE_READ = "restore.objstore_read"
+SPAN_RESTORE_METADATA = "restore.metadata"
+SPAN_RESTORE_MEMORY = "restore.memory"
+
+# --- spans (object store / filesystem) ---------------------------------------
+
+SPAN_GC = "objstore.gc"
+SPAN_FS_SNAPSHOT = "slsfs.container_snapshot"
+SPAN_FS_CLONE = "slsfs.clone"
+
+# --- tracepoints (point events) ----------------------------------------------
+
+EV_BARRIER_ENTER = "checkpoint.barrier.enter"
+EV_BARRIER_EXIT = "checkpoint.barrier.exit"
+EV_BACKEND_DURABLE = "backend.durable"
+EV_COW_FREEZE = "cow.freeze"
+EV_COW_FAULT = "cow.fault"
+EV_CAPTURE_STORE = "checkpoint.capture.store"
+EV_CAPTURE_SWAP = "checkpoint.capture.swap"
+EV_GC_RECLAIM = "objstore.gc.reclaim"
+
+# --- counters ----------------------------------------------------------------
+
+C_CHECKPOINTS = "sls.checkpoints_total"
+C_RESTORES = "sls.restores_total"
+C_PAGES_CAPTURED = "sls.pages_captured_total"
+C_BYTES_FLUSHED = "sls.bytes_flushed_total"
+C_RESTORE_PAGES_INSTALLED = "sls.restore_pages_installed_total"
+C_RESTORE_PAGES_LAZY = "sls.restore_pages_lazy_total"
+C_SWAP_CAPTURED = "checkpoint.swapped_pages_total"
+C_COW_PAGES_FROZEN = "cow.pages_frozen_total"
+C_COW_FAULTS = "cow.faults_total"
+C_COW_PTE_UPDATES = "cow.pte_updates_total"
+C_STORE_PAGES_WRITTEN = "objstore.pages_written_total"
+C_STORE_PAGES_DEDUPED = "objstore.pages_deduped_total"
+C_STORE_META_RECORDS = "objstore.meta_records_total"
+C_STORE_BYTES_WRITTEN = "objstore.bytes_written_total"
+C_STORE_SNAPSHOTS = "objstore.snapshots_committed_total"
+C_STORE_SNAPSHOTS_DELETED = "objstore.snapshots_deleted_total"
+C_GC_EXTENTS_FREED = "objstore.gc.extents_freed_total"
+C_GC_BYTES_FREED = "objstore.gc.bytes_freed_total"
+C_FS_SNAPSHOTS = "slsfs.container_snapshots_total"
+C_FS_CLONES = "slsfs.clones_total"
+
+# --- gauges ------------------------------------------------------------------
+
+G_SHADOW_DEPTH = "cow.shadow_chain_depth_max"
+
+# --- histograms (virtual nanoseconds) ----------------------------------------
+
+H_STOP_TIME = "sls.stop_time_ns"
+H_FLUSH_LAG = "backend.flush_lag_ns"
+H_RESTORE_TOTAL = "sls.restore_total_ns"
+
+
+def catalogue() -> dict[str, list[str]]:
+    """Every shipped name, grouped by kind (used by the docs test)."""
+    groups: dict[str, list[str]] = {
+        "span": [], "event": [], "counter": [], "gauge": [], "histogram": [],
+    }
+    prefix_to_kind = {
+        "SPAN_": "span", "EV_": "event", "C_": "counter",
+        "G_": "gauge", "H_": "histogram",
+    }
+    for key, value in sorted(globals().items()):
+        for prefix, kind in prefix_to_kind.items():
+            if key.startswith(prefix):
+                groups[kind].append(value)
+    return groups

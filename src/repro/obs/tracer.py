@@ -1,0 +1,259 @@
+"""Tracepoints and nested spans over the simulated clock.
+
+A :class:`Span` measures a region of *virtual* time — its start and
+end are reads of :class:`~repro.sim.clock.SimClock`, so tracing never
+perturbs a benchmark: enabling or disabling the tracer changes no
+measured number, only what is retained.
+
+Two kinds of telemetry:
+
+- **Spans** (``tracer.span(name, **attrs)``) nest via a per-tracer
+  stack and always return a real :class:`Span`, because the metrics
+  layer (:mod:`repro.core.metrics`) *derives* the Table 3/4 breakdowns
+  from the span tree even when tracing is off.  A disabled tracer
+  simply drops the finished tree instead of retaining it — its buffers
+  stay empty.
+- **Tracepoints** (``tracer.event(name, **attrs)``) are point events.
+  When the tracer is disabled they return immediately without
+  allocating anything — the zero-overhead-when-disabled fast path for
+  per-page/per-fault call sites.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clock import SimClock
+
+
+class TraceEvent:
+    """One point event (tracepoint firing)."""
+
+    __slots__ = ("name", "t_ns", "span_id", "attrs")
+
+    def __init__(self, name: str, t_ns: int, span_id: Optional[int], attrs: dict):
+        self.name = name
+        self.t_ns = t_ns
+        self.span_id = span_id
+        self.attrs = attrs
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "event",
+            "name": self.name,
+            "t_ns": self.t_ns,
+            "span": self.span_id,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        return f"<TraceEvent {self.name} t={self.t_ns}ns>"
+
+
+class Span:
+    """One measured region of virtual time, possibly with children."""
+
+    __slots__ = (
+        "tracer", "name", "span_id", "parent", "start_ns", "end_ns",
+        "attrs", "children", "events",
+    )
+
+    def __init__(
+        self,
+        tracer: Optional["Tracer"],
+        name: str,
+        span_id: int,
+        start_ns: int,
+        parent: Optional["Span"] = None,
+        attrs: Optional[dict] = None,
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent = parent
+        self.start_ns = start_ns
+        self.end_ns: Optional[int] = None
+        self.attrs = attrs or {}
+        self.children: list[Span] = []
+        self.events: list[TraceEvent] = []
+
+    # -- timing ------------------------------------------------------------
+
+    @property
+    def duration_ns(self) -> int:
+        """Virtual nanoseconds covered (so far, if still open)."""
+        if self.end_ns is not None:
+            return self.end_ns - self.start_ns
+        if self.tracer is not None:
+            return self.tracer.clock.now - self.start_ns
+        return 0
+
+    def close(self, at_ns: Optional[int] = None) -> "Span":
+        """End the span (idempotent).  ``at_ns`` overrides the clock —
+        used for asynchronous completions that fire at a scheduled
+        virtual deadline."""
+        if self.end_ns is not None:
+            return self
+        tracer = self.tracer
+        self.end_ns = (
+            at_ns if at_ns is not None
+            else (tracer.clock.now if tracer is not None else self.start_ns)
+        )
+        if tracer is not None:
+            tracer._finish(self)
+        return self
+
+    # -- structure ----------------------------------------------------------
+
+    def set(self, **attrs) -> "Span":
+        """Attach or update span attributes."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        """Fire a tracepoint scoped to this span (dropped if disabled)."""
+        if self.tracer is not None:
+            self.tracer._record_event(name, attrs, self)
+
+    def child(self, name: str) -> Optional["Span"]:
+        """First direct child with ``name``, or None."""
+        for span in self.children:
+            if span.name == name:
+                return span
+        return None
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in this subtree (depth-first)."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent.span_id if self.parent is not None else None,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns if self.end_ns is not None else self.start_ns,
+            "attrs": self.attrs,
+            "events": [
+                {"name": e.name, "t_ns": e.t_ns, "attrs": e.attrs}
+                for e in self.events
+            ],
+        }
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = f"end={self.end_ns}" if self.end_ns is not None else "open"
+        return f"<Span {self.name!r} start={self.start_ns} {state}>"
+
+
+class Tracer:
+    """Span/tracepoint recorder for one kernel's virtual clock.
+
+    Finished *root* spans land in a bounded ring buffer (children hang
+    off their parents); tracepoints land in a parallel event buffer.
+    Disabled, both buffers stay empty and ``event()`` is a no-op.
+    """
+
+    def __init__(self, clock: "SimClock", enabled: bool = False,
+                 capacity: int = 4096):
+        self.clock = clock
+        self.enabled = enabled
+        self.spans: deque[Span] = deque(maxlen=capacity)
+        self.events: deque[TraceEvent] = deque(maxlen=capacity * 4)
+        self._stack: list[Span] = []
+        self._ids = itertools.count(1)
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a nested span.  Always returns a live :class:`Span`
+        (the metrics layer needs the tree); retention is what the
+        enabled flag gates."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            tracer=self,
+            name=name,
+            span_id=next(self._ids),
+            start_ns=self.clock.now,
+            parent=parent,
+            attrs=attrs,
+        )
+        if parent is not None:
+            parent.children.append(span)
+        self._stack.append(span)
+        return span
+
+    def event(self, name: str, **attrs) -> None:
+        """Fire a tracepoint.  Zero-overhead when disabled: the guard
+        is the first statement and nothing is allocated."""
+        if not self.enabled:
+            return
+        self._record_event(name, attrs, self._stack[-1] if self._stack else None)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def _record_event(self, name: str, attrs: dict, span: Optional[Span]) -> None:
+        if not self.enabled:
+            return
+        event = TraceEvent(
+            name=name,
+            t_ns=self.clock.now,
+            span_id=span.span_id if span is not None else None,
+            attrs=attrs,
+        )
+        if span is not None:
+            span.events.append(event)
+        self.events.append(event)
+
+    def _finish(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # out-of-order close (async completion)
+            self._stack.remove(span)
+        if span.parent is None and self.enabled:
+            self.spans.append(span)
+
+    # -- control / access -----------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.events.clear()
+
+    def roots(self) -> list[Span]:
+        """Finished top-level spans, oldest first."""
+        return list(self.spans)
+
+    def find_roots(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"<Tracer {state} roots={len(self.spans)} events={len(self.events)}>"

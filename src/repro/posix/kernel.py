@@ -21,6 +21,7 @@ from repro.mem.address_space import AddressSpace, MemContext
 from repro.mem.cow import AuroraCow
 from repro.mem.phys import PhysicalMemory
 from repro.mem.swap import PageoutDaemon, SwapSpace
+from repro.obs import KernelObs
 from repro.posix.fd import FdTable
 from repro.posix.msgqueue import MessageQueueRegistry
 from repro.posix.objects import ObjectRegistry
@@ -63,7 +64,10 @@ class Kernel:
         self.events = EventQueue(self.clock)
         self.phys = PhysicalMemory(total_bytes=memory_bytes)
         self.mem = MemContext(self.clock, self.phys, cpu=cpu)
+        #: observability plane: tracer + metric registry (repro.obs)
+        self.obs = KernelObs(self.clock, label=hostname)
         self.cow = AuroraCow(self.mem)
+        self.cow.attach_obs(self.obs)
         self.registry = ObjectRegistry()
         self.procs = ProcessTable()
         self.vfs = VfsNamespace(TmpFS())

@@ -20,6 +20,7 @@ from repro.mem.address_space import AddressSpace, VMEntry
 from repro.mem.cow import FreezeSet
 from repro.mem.page import Page
 from repro.mem.vmobject import ObjectKind, VMObject
+from repro.obs import names as obs_names
 from repro.objstore.store import ObjectStore, PageRef
 from repro.serial.registry import RestoreContext, SerialContext
 
@@ -154,6 +155,13 @@ def capture_pages_to_store(
         )
         page_map.setdefault(frozen.obj.oid, {})[frozen.pindex] = ref
     all_refs = [ref for pages in page_map.values() for ref in pages.values()]
+    if store.obs is not None:
+        store.obs.tracer.event(
+            obs_names.EV_CAPTURE_STORE,
+            pages=len(freeze_set.pages),
+            epoch=freeze_set.epoch,
+            store=store.device.name,
+        )
     return page_map, all_refs
 
 
@@ -182,6 +190,15 @@ def capture_swapped_to_store(
             ref = store.write_page(payload)
             page_map.setdefault(obj.oid, {})[pindex] = ref
             new_refs.append(ref)
+    if new_refs and store.obs is not None:
+        store.obs.registry.counter(
+            obs_names.C_SWAP_CAPTURED, store=store.device.name
+        ).inc(len(new_refs))
+        store.obs.tracer.event(
+            obs_names.EV_CAPTURE_SWAP,
+            pages=len(new_refs),
+            store=store.device.name,
+        )
     return new_refs
 
 

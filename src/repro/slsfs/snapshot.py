@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.checkpoint import CheckpointImage
+from repro.obs import names as obs_names
 from repro.objstore.snapshot import Snapshot
 from repro.slsfs.fs import SlsFS
 
@@ -49,8 +50,14 @@ def snapshot_container(
     the checkpoint barrier (virtual time: immediately after), so the
     pair observes one consistent cut.
     """
-    image = sls.checkpoint(group, name=name)
-    fs_snapshot = fs.sync(name=f"slsfs@{image.name}")
+    obs = sls.kernel.obs
+    with obs.tracer.span(
+        obs_names.SPAN_FS_SNAPSHOT, group=group.name
+    ) as span:
+        image = sls.checkpoint(group, name=name)
+        fs_snapshot = fs.sync(name=f"slsfs@{image.name}")
+        span.set(image=image.name, fs_snapshot=fs_snapshot.name)
+    obs.registry.counter(obs_names.C_FS_SNAPSHOTS, group=group.name).inc()
     return ContainerSnapshot(
         name=name or image.name, image=image, fs_snapshot=fs_snapshot
     )
@@ -68,9 +75,15 @@ def clone_container(
     lazily paged from the store; file data is shared by reference.
     Returns (processes, restore metrics).
     """
-    return sls.restore(
-        snapshot.image,
-        new_instance=True,
-        name_suffix=name_suffix,
-        lazy=lazy,
-    )
+    obs = sls.kernel.obs
+    with obs.tracer.span(
+        obs_names.SPAN_FS_CLONE, snapshot=snapshot.name, lazy=lazy
+    ):
+        result = sls.restore(
+            snapshot.image,
+            new_instance=True,
+            name_suffix=name_suffix,
+            lazy=lazy,
+        )
+    obs.registry.counter(obs_names.C_FS_CLONES).inc()
+    return result

@@ -1,0 +1,33 @@
+"""OBSERVABILITY.md must document every shipped name.
+
+The catalogue in ``repro.obs.names`` is the single source of truth;
+this test pins the docs to it so neither can drift.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs import names
+
+DOC = Path(__file__).resolve().parent.parent.parent / "OBSERVABILITY.md"
+
+
+def test_every_name_is_documented():
+    text = DOC.read_text()
+    missing = [
+        f"{kind}: {name}"
+        for kind, values in names.catalogue().items()
+        for name in values
+        if name not in text
+    ]
+    assert not missing, (
+        "names shipped in repro.obs.names but absent from OBSERVABILITY.md:\n"
+        + "\n".join(missing)
+    )
+
+
+def test_catalogue_covers_all_kinds():
+    groups = names.catalogue()
+    assert set(groups) == {"span", "event", "counter", "gauge", "histogram"}
+    assert all(groups[kind] for kind in groups)

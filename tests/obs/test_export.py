@@ -1,0 +1,94 @@
+"""JSONL export: schema and round-trip fidelity."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs.export import (
+    dump_jsonl,
+    dumps_jsonl,
+    load_jsonl,
+    spans_from_records,
+    trace_records,
+)
+from repro.obs.tracer import Tracer
+from repro.sim.clock import SimClock
+
+
+def traced_run():
+    """A small two-root trace with events at both scopes."""
+    clock = SimClock()
+    tracer = Tracer(clock, enabled=True)
+    with tracer.span("sls.checkpoint", group="g0", incremental=False):
+        clock.advance(100)
+        with tracer.span("checkpoint.stop"):
+            clock.advance(40)
+            tracer.event("cow.freeze", pages=3)
+            clock.advance(10)
+    tracer.event("orphan.marker", n=1)  # span-less tracepoint
+    clock.advance(5)
+    with tracer.span("sls.restore", backend="disk0"):
+        clock.advance(7)
+    return tracer
+
+
+class TestRecords:
+    def test_span_record_schema(self):
+        records = trace_records(traced_run())
+        spans = [r for r in records if r["type"] == "span"]
+        events = [r for r in records if r["type"] == "event"]
+        assert [s["name"] for s in spans] == [
+            "sls.checkpoint", "checkpoint.stop", "sls.restore",
+        ]
+        root = spans[0]
+        assert root["parent"] is None
+        assert root["attrs"] == {"group": "g0", "incremental": False}
+        assert spans[1]["parent"] == root["id"]
+        # The scoped event is inlined; only the orphan stays top-level.
+        assert spans[1]["events"][0]["name"] == "cow.freeze"
+        assert [e["name"] for e in events] == ["orphan.marker"]
+
+    def test_jsonl_is_one_json_object_per_line(self):
+        text = dumps_jsonl(traced_run())
+        lines = text.strip().splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+    def test_dump_reports_line_count(self):
+        buffer = io.StringIO()
+        assert dump_jsonl(traced_run(), buffer) == 4
+
+
+class TestRoundTrip:
+    def test_spans_rebuild_identically(self):
+        tracer = traced_run()
+        originals = tracer.roots()
+        rebuilt = spans_from_records(load_jsonl(dumps_jsonl(tracer)))
+        assert len(rebuilt) == len(originals) == 2
+
+        def shape(span):
+            return (
+                span.name,
+                span.start_ns,
+                span.end_ns,
+                span.duration_ns,
+                dict(span.attrs),
+                [(e.name, e.t_ns, dict(e.attrs)) for e in span.events],
+                [shape(c) for c in span.children],
+            )
+
+        for original, copy in zip(originals, rebuilt):
+            assert shape(copy) == shape(original)
+
+    def test_round_trip_through_a_file_object(self):
+        tracer = traced_run()
+        buffer = io.StringIO()
+        dump_jsonl(tracer, buffer)
+        buffer.seek(0)
+        rebuilt = spans_from_records(load_jsonl(buffer))
+        assert [s.name for s in rebuilt] == ["sls.checkpoint", "sls.restore"]
+        stop = rebuilt[0].children[0]
+        assert stop.duration_ns == 50
+        assert stop.events[0].attrs == {"pages": 3}

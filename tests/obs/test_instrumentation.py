@@ -1,0 +1,168 @@
+"""End-to-end observability: the SLS pipeline under the tracer.
+
+The load-bearing properties: derived Table 3/4 metrics agree with the
+span tree they come from, counters live in kernel state (restores
+never reset them), a disabled tracer retains nothing, and tracing
+changes no virtual-time measurement.
+"""
+
+from __future__ import annotations
+
+from repro.core.backends import make_disk_backend
+from repro.core.metrics import CheckpointMetrics
+from repro.hw.nvme import NvmeDevice
+from repro.obs import names
+from repro.posix.kernel import Kernel
+from repro.posix.syscalls import Syscalls
+from repro.units import GIB, KIB
+
+
+def boot_app(traced: bool):
+    """One machine + one populated app, persisted to an NVMe backend."""
+    from repro.core.orchestrator import SLS
+
+    kernel = Kernel(memory_bytes=4 * GIB)
+    if traced:
+        kernel.obs.enable()
+    sls = SLS(kernel)
+    proc = kernel.spawn("app")
+    sys = Syscalls(kernel, proc)
+    entry = sys.mmap(128 * KIB, name="heap")
+    sys.populate(entry.start, 128 * KIB, fill_fn=lambda i: b"page-%d" % i)
+    group = sls.persist(proc, name="app")
+    group.attach(make_disk_backend(kernel, NvmeDevice(kernel.clock)))
+    return kernel, sls, group, proc, entry
+
+
+class TestSpanMetricsAgreement:
+    def test_checkpoint_metrics_match_the_span_tree(self):
+        kernel, sls, group, proc, entry = boot_app(traced=True)
+        image = sls.checkpoint(group)
+
+        roots = kernel.obs.tracer.find_roots(names.SPAN_CHECKPOINT)
+        assert len(roots) == 1
+        derived = CheckpointMetrics.from_span(roots[0])
+        m = image.metrics
+        assert derived.metadata_copy_ns == m.metadata_copy_ns
+        assert derived.data_copy_ns == m.data_copy_ns
+        assert derived.stop_time_ns == m.stop_time_ns
+        assert derived.pages_captured == m.pages_captured == 32
+        assert derived.objects_serialized == m.objects_serialized
+
+    def test_stop_phases_sum_within_the_stop_span(self):
+        kernel, sls, group, proc, entry = boot_app(traced=True)
+        sls.checkpoint(group)
+        (root,) = kernel.obs.tracer.find_roots(names.SPAN_CHECKPOINT)
+        stop = root.child(names.SPAN_CKPT_STOP)
+        meta = stop.child(names.SPAN_CKPT_STOP_METADATA)
+        arm = stop.child(names.SPAN_CKPT_STOP_COW_ARM)
+        assert 0 < meta.duration_ns + arm.duration_ns <= stop.duration_ns
+        assert stop.duration_ns <= root.duration_ns
+
+    def test_restore_metrics_match_the_span_tree(self):
+        kernel, sls, group, proc, entry = boot_app(traced=True)
+        image = sls.checkpoint(group)
+        sls.barrier(group)
+        procs, metrics = sls.restore(
+            image, new_instance=True, name_suffix="-restored"
+        )
+        (root,) = kernel.obs.tracer.find_roots(names.SPAN_RESTORE)
+        assert root.child(names.SPAN_RESTORE_READ).duration_ns \
+            == metrics.objstore_read_ns
+        assert root.child(names.SPAN_RESTORE_METADATA).duration_ns \
+            == metrics.metadata_ns
+        assert root.child(names.SPAN_RESTORE_MEMORY).duration_ns \
+            == metrics.memory_ns
+        assert metrics.pages_installed == 32
+
+    def test_barrier_records_backend_durability(self):
+        kernel, sls, group, proc, entry = boot_app(traced=True)
+        sls.checkpoint(group)
+        sls.barrier(group)
+        (barrier,) = kernel.obs.tracer.find_roots(names.SPAN_BARRIER)
+        durable = [
+            e for e in barrier.events if e.name == names.EV_BACKEND_DURABLE
+        ]
+        assert [e.attrs["backend"] for e in durable] == ["disk0"]
+        lag = kernel.obs.registry.get(names.H_FLUSH_LAG, backend="disk0")
+        assert lag is not None and lag.count == 1
+        assert lag.max == durable[0].attrs["lag_ns"]
+
+
+class TestCountersAreKernelState:
+    def test_counters_survive_checkpoint_and_restore(self):
+        """Restoring an app must not reset its host's statistics —
+        instruments are kernel state, not part of any process image."""
+        kernel, sls, group, proc, entry = boot_app(traced=True)
+        sls.checkpoint(group)
+        sls.checkpoint(group)
+        sls.barrier(group)
+        reg = kernel.obs.registry
+        ckpts = reg.get(names.C_CHECKPOINTS, group="app")
+        pages = reg.get(names.C_PAGES_CAPTURED, group="app")
+        assert ckpts.value == 2
+        pages_before = pages.value
+
+        sls.restore(group.latest_image, new_instance=True, name_suffix="-r")
+
+        assert ckpts.value == 2  # unchanged by the restore
+        assert pages.value == pages_before
+        assert reg.get(
+            names.C_RESTORES, group="app", backend="disk0"
+        ).value == 1
+        # ... and the next checkpoint keeps accumulating on top.
+        sls.checkpoint(group)
+        assert ckpts.value == 3
+
+    def test_store_counters_accumulate_across_checkpoints(self):
+        kernel, sls, group, proc, entry = boot_app(traced=True)
+        sls.checkpoint(group)
+        written = kernel.obs.registry.get(
+            names.C_STORE_PAGES_WRITTEN, store="nvme0"
+        )
+        first = written.value
+        assert first == 32
+        # Dirty one page; the incremental captures it, dedup catches
+        # nothing new beyond that page.
+        sys = Syscalls(kernel, proc)
+        sys.poke(entry.start, b"dirtied")
+        sls.checkpoint(group)
+        assert kernel.obs.registry.get(
+            names.C_COW_FAULTS
+        ).value >= 1
+        assert written.value >= first
+
+
+class TestDisabledFastPath:
+    def test_disabled_tracer_retains_nothing_end_to_end(self):
+        kernel, sls, group, proc, entry = boot_app(traced=False)
+        image = sls.checkpoint(group)
+        sls.barrier(group)
+        sls.restore(image, new_instance=True, name_suffix="-r")
+        tracer = kernel.obs.tracer
+        assert tracer.roots() == []
+        assert len(tracer.events) == 0
+        # Derived metrics still work — spans measure even when dropped.
+        assert image.metrics.stop_time_ns > 0
+
+    def test_tracing_changes_no_virtual_time_measurement(self):
+        """The determinism contract behind the benchmarks: identical
+        runs traced and untraced produce identical virtual timings."""
+
+        def run(traced):
+            kernel, sls, group, proc, entry = boot_app(traced=traced)
+            image = sls.checkpoint(group)
+            durable_at = sls.barrier(group)
+            sys = Syscalls(kernel, proc)
+            sys.poke(entry.start, b"dirty")
+            second = sls.checkpoint(group)
+            return (
+                image.metrics.stop_time_ns,
+                image.metrics.metadata_copy_ns,
+                image.metrics.data_copy_ns,
+                durable_at,
+                second.metrics.stop_time_ns,
+                kernel.clock.now,
+            )
+
+        assert run(traced=True) == run(traced=False)

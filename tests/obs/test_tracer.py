@@ -1,0 +1,125 @@
+"""Tracer: nested spans on the simulated clock, zero cost, no drift."""
+
+from __future__ import annotations
+
+from repro.obs import names
+from repro.obs.tracer import Tracer
+from repro.sim.clock import SimClock
+
+
+def make_tracer(enabled=True):
+    clock = SimClock()
+    return clock, Tracer(clock, enabled=enabled)
+
+
+class TestSpanNesting:
+    def test_durations_track_virtual_time(self):
+        clock, tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            clock.advance(100)
+            with tracer.span("inner") as inner:
+                clock.advance(250)
+            clock.advance(50)
+        assert inner.duration_ns == 250
+        assert outer.duration_ns == 400
+        assert inner.parent is outer
+        assert outer.children == [inner]
+
+    def test_tracing_never_advances_the_clock(self):
+        clock, tracer = make_tracer()
+        before = clock.now
+        with tracer.span("a", k=1):
+            with tracer.span("b"):
+                tracer.event("tick", n=3)
+        assert clock.now == before
+
+    def test_only_roots_are_retained(self):
+        clock, tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        roots = tracer.roots()
+        assert [s.name for s in roots] == ["outer"]
+        assert [s.name for s in roots[0].children] == ["inner"]
+
+    def test_current_tracks_the_open_stack(self):
+        clock, tracer = make_tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_events_attach_to_the_open_span(self):
+        clock, tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            clock.advance(10)
+            tracer.event("marker", value=7)
+        assert [e.name for e in outer.events] == ["marker"]
+        assert outer.events[0].t_ns == outer.start_ns + 10
+        assert outer.events[0].attrs["value"] == 7
+
+    def test_close_at_supports_async_completions(self):
+        clock, tracer = make_tracer()
+        span = tracer.span("flush")
+        clock.advance(5)
+        span.close(at_ns=clock.now + 1000)  # scheduled virtual deadline
+        assert span.duration_ns == 1005
+
+    def test_walk_visits_the_whole_subtree(self):
+        clock, tracer = make_tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                with tracer.span("d"):
+                    pass
+        assert [s.name for s in a.walk()] == ["a", "b", "c", "d"]
+
+    def test_find_roots_filters_by_name(self):
+        clock, tracer = make_tracer()
+        with tracer.span(names.SPAN_CHECKPOINT):
+            pass
+        with tracer.span(names.SPAN_BARRIER):
+            pass
+        assert len(tracer.find_roots(names.SPAN_CHECKPOINT)) == 1
+
+    def test_capacity_bounds_retained_roots(self):
+        clock, tracer = make_tracer()
+        tracer.spans = type(tracer.spans)(maxlen=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.roots()] == ["s6", "s7", "s8", "s9"]
+
+
+class TestDisabledFastPath:
+    def test_disabled_tracer_emits_nothing(self):
+        clock, tracer = make_tracer(enabled=False)
+        with tracer.span("outer"):
+            tracer.event("marker")
+            with tracer.span("inner"):
+                clock.advance(10)
+        assert tracer.roots() == []
+        assert len(tracer.events) == 0
+
+    def test_disabled_spans_still_measure(self):
+        # Metrics derivation reads the span tree even when the tracer
+        # retains nothing, so durations must still be real.
+        clock, tracer = make_tracer(enabled=False)
+        with tracer.span("outer") as outer:
+            clock.advance(123)
+        assert outer.duration_ns == 123
+        assert tracer.roots() == []
+
+    def test_enable_disable_roundtrip(self):
+        clock, tracer = make_tracer(enabled=False)
+        tracer.enable()
+        with tracer.span("kept"):
+            pass
+        tracer.disable()
+        with tracer.span("dropped"):
+            pass
+        assert [s.name for s in tracer.roots()] == ["kept"]

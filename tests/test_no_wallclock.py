@@ -1,0 +1,35 @@
+"""Guard: no module under ``src/repro`` reads the wall clock.
+
+Everything is keyed to the simulated clock (``sim/clock.py``); a stray
+``time.time()`` would leak host timing into results and break both
+determinism and the observability layer's zero-cost guarantee.  CI
+runs the same check as a grep step.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: wall-clock reads that must never appear in simulated-kernel code
+FORBIDDEN = re.compile(
+    r"\btime\.(time|monotonic|perf_counter|process_time)\s*\("
+    r"|\bdatetime\.(now|today|utcnow)\s*\("
+    r"|\bfrom time import\b"
+)
+
+
+def test_no_wall_clock_reads_in_src():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if FORBIDDEN.search(line):
+                offenders.append(f"{path.relative_to(SRC.parent.parent)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "wall-clock usage in simulated-kernel code (use SimClock):\n"
+        + "\n".join(offenders)
+    )
