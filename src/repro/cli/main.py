@@ -24,6 +24,10 @@ tracing enabled and report what every kernel it booted recorded:
 - ``sls trace [FILE]`` — span trees + Table 3 reconciliation;
 - ``sls stats [FILE]`` — the counter/gauge/histogram registries.
 
+``sls crashtest`` runs the crash-consistency sweep (see FAULTS.md):
+power cuts at every hit of every swept failpoint, each followed by
+recovery and the prefix-consistency/leak/restore oracles.
+
 ``FILE`` may be a Python program (run like ``python FILE``) or an sls
 command script; with no file the canned demo is traced.
 """
@@ -143,6 +147,27 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_crashtest(args) -> int:
+    from repro.fault.crashtest import run_sweep
+
+    report = run_sweep(seed=args.seed, stride=args.stride)
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as handle:
+            for point in report.points:
+                handle.write(json.dumps({
+                    "site": point.site,
+                    "index": point.index,
+                    "fired": point.fired,
+                    "at_ns": point.at_ns,
+                    "generation": point.generation,
+                    "snapshots_recovered": point.snapshots_recovered,
+                    "failures": point.failures,
+                }, sort_keys=True) + "\n")
+        print(f"wrote {len(report.points)} crash points to {args.json}")
+    return 1 if report.failures else 0
+
+
 def cmd_stats(args) -> int:
     keep = _run_traced(args.file)
     observers = obs.all_observers()
@@ -184,12 +209,24 @@ def main(argv=None) -> int:
     )
     stats.add_argument("file", nargs="?", default=None,
                        help="python program or sls script (default: demo)")
+    crash = sub.add_parser(
+        "crashtest",
+        help="sweep power cuts across a checkpoint workload; verify recovery",
+    )
+    crash.add_argument("--seed", type=lambda s: int(s, 0), default=0xFA17,
+                       help="failpoint registry seed (default: 0xFA17)")
+    crash.add_argument("--stride", type=int, default=1,
+                       help="subsample the device-write sweep by this step")
+    crash.add_argument("--json", metavar="PATH", default=None,
+                       help="also export crash points as JSON lines")
     args = parser.parse_args(argv)
 
     if args.mode == "trace":
         return cmd_trace(args)
     if args.mode == "stats":
         return cmd_stats(args)
+    if args.mode == "crashtest":
+        return cmd_crashtest(args)
 
     session = SlsSession()
     if args.mode in (None, "demo"):

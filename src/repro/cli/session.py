@@ -15,6 +15,7 @@ from repro.apps.hello import HelloWorldApp
 from repro.apps.kvstore import RedisLikeServer
 from repro.core.backends import MemoryBackend, make_disk_backend
 from repro.core.group import PersistenceGroup
+from repro.core.options import CheckpointOptions, RestoreOptions
 from repro.core.orchestrator import SLS
 from repro.core.remote import MigrationReceiver, sls_send
 from repro.errors import AuroraError, SlsError
@@ -112,10 +113,37 @@ class SlsSession:
         group.detach(backend_name)
         return f"detached {backend_name} from {group_name}"
 
-    def cmd_checkpoint(self, group_name: str, name: Optional[str] = None) -> str:
-        """sls checkpoint — checkpoint an application."""
+    @staticmethod
+    def _split_flags(args: tuple, verb: str, allowed: set) -> tuple:
+        """Separate ``--flag``/``--flag=value`` tokens from positionals."""
+        positional, flags = [], {}
+        for arg in args:
+            if arg.startswith("--"):
+                key, _, value = arg[2:].partition("=")
+                if key not in allowed:
+                    raise SlsError(
+                        f"unknown {verb} flag --{key}"
+                        f" (expected: {', '.join('--' + a for a in sorted(allowed))})"
+                    )
+                flags[key] = value if value else True
+            else:
+                positional.append(arg)
+        return positional, flags
+
+    def cmd_checkpoint(self, group_name: str, *args) -> str:
+        """sls checkpoint [name] [--full] [--sync] — checkpoint an app."""
+        positional, flags = self._split_flags(
+            args, "checkpoint", {"full", "sync"}
+        )
+        if len(positional) > 1:
+            raise SlsError("checkpoint takes at most one image name")
+        options = CheckpointOptions(
+            full=True if flags.get("full") else None,
+            name=positional[0] if positional else None,
+            sync=bool(flags.get("sync")),
+        )
         group = self._group(group_name)
-        image = self.sls.checkpoint(group, name=name)
+        image = self.sls.checkpoint(group, options=options)
         m = image.metrics
         return (
             f"checkpoint {image.name}: stop {fmt_time(m.stop_time_ns)}"
@@ -124,18 +152,30 @@ class SlsSession:
             f" {m.pages_captured} pages)"
         )
 
-    def cmd_restore(self, group_name: str, image_name: Optional[str] = None,
-                    lazy: bool = False) -> str:
-        """sls restore — restore an application from an image."""
+    def cmd_restore(self, group_name: str, *args) -> str:
+        """sls restore [image] [--lazy] [--backend=NAME] — restore an app."""
+        positional, flags = self._split_flags(
+            args, "restore", {"lazy", "backend"}
+        )
+        if len(positional) > 1:
+            raise SlsError("restore takes at most one image name")
+        image_name = positional[0] if positional else None
+        backend = flags.get("backend")
+        if backend is True:
+            raise SlsError("--backend needs a value (--backend=nvme0)")
+        options = RestoreOptions(
+            backend=backend,
+            lazy=bool(flags.get("lazy")),
+            new_instance=True,
+            name_suffix="-restored",
+        )
         group = self._group(group_name)
         image = (
             group.image_by_name(image_name) if image_name else group.latest_image
         )
         if image is None:
             raise SlsError(f"no image to restore for {group_name!r}")
-        procs, metrics = self.sls.restore(
-            image, lazy=lazy, new_instance=True, name_suffix="-restored"
-        )
+        procs, metrics = self.sls.restore(image, **options.engine_kwargs())
         return (
             f"restored {image.name} -> pids {[p.pid for p in procs]}"
             f" in {fmt_time(metrics.total_ns)}"

@@ -17,10 +17,12 @@ ports in :mod:`repro.apps` are written entirely against this API.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.core.checkpoint import CheckpointImage
 from repro.core.metrics import RestoreMetrics
+from repro.core.options import CheckpointOptions, RestoreOptions
 from repro.core.orchestrator import SLS
 from repro.core.rollback import rollback as _rollback
 from repro.errors import NotPersisted, SlsError
@@ -48,20 +50,105 @@ class AuroraApi:
     # -- checkpoint/restore/rollback -----------------------------------------
 
     def sls_checkpoint(
-        self, name: Optional[str] = None, full: Optional[bool] = None
+        self,
+        *legacy_args,
+        name: Optional[str] = None,
+        full: Optional[bool] = None,
+        sync: bool = False,
+        options: Optional[CheckpointOptions] = None,
     ) -> CheckpointImage:
-        """Create an image of the caller's persistence group."""
-        return self.sls.checkpoint(self._group(), full=full, name=name)
+        """Create an image of the caller's persistence group.
+
+        All parameters are keyword-only; pass a
+        :class:`~repro.core.options.CheckpointOptions` instead to
+        carry them as one value.  The historical positional form
+        ``sls_checkpoint(name, full)`` still works but emits a
+        :class:`DeprecationWarning`.
+        """
+        if legacy_args:
+            if len(legacy_args) > 2:
+                raise TypeError(
+                    "sls_checkpoint() takes at most (name, full) positionally"
+                )
+            warnings.warn(
+                "positional sls_checkpoint(name, full) is deprecated; use "
+                "keyword arguments or CheckpointOptions",
+                DeprecationWarning, stacklevel=2,
+            )
+            name = legacy_args[0]
+            if len(legacy_args) == 2:
+                full = legacy_args[1]
+        if options is not None:
+            if (name, full, sync) != (None, None, False):
+                raise SlsError(
+                    "pass either options= or individual keywords, not both"
+                )
+        else:
+            options = CheckpointOptions(full=full, name=name, sync=sync)
+        return self.sls.checkpoint(self._group(), options=options)
 
     def sls_restore(
-        self, name: Optional[str] = None, lazy: bool = False, **kwargs
+        self,
+        name: Optional[str] = None,
+        *legacy_args,
+        backend: Optional[str] = None,
+        lazy: bool = False,
+        new_instance: bool = False,
+        name_suffix: str = "",
+        prefetch_hot: bool = True,
+        options: Optional[RestoreOptions] = None,
+        **legacy,
     ) -> tuple[list[Process], RestoreMetrics]:
-        """Restore the caller's group to a named (or latest) image."""
+        """Restore the caller's group to a named (or latest) image.
+
+        Every knob is an explicit keyword-only parameter (see
+        :class:`~repro.core.options.RestoreOptions`, which can carry
+        them as one value) — nothing is forwarded blindly anymore, so
+        a misspelled option fails loudly instead of being ignored.
+        The historical shapes ``sls_restore(name, lazy)`` (positional)
+        and ``sls_restore(backend_name=...)`` still work but emit a
+        :class:`DeprecationWarning`.
+        """
+        if legacy_args:
+            if len(legacy_args) > 1:
+                raise TypeError(
+                    "sls_restore() takes at most (name, lazy) positionally"
+                )
+            warnings.warn(
+                "positional sls_restore(name, lazy) is deprecated; use "
+                "keyword arguments or RestoreOptions",
+                DeprecationWarning, stacklevel=2,
+            )
+            lazy = legacy_args[0]
+        if legacy:
+            unknown = sorted(set(legacy) - {"backend_name"})
+            if unknown:
+                raise TypeError(
+                    f"sls_restore() got unexpected keyword arguments: {unknown}"
+                )
+            warnings.warn(
+                "sls_restore(backend_name=...) is deprecated; use backend=...",
+                DeprecationWarning, stacklevel=2,
+            )
+            if backend is None:
+                backend = legacy["backend_name"]
+        if options is not None:
+            if (backend, lazy, new_instance, name_suffix, prefetch_hot) != (
+                None, False, False, "", True
+            ):
+                raise SlsError(
+                    "pass either options= or individual keywords, not both"
+                )
+        else:
+            options = RestoreOptions(
+                backend=backend, lazy=lazy, new_instance=new_instance,
+                name_suffix=name_suffix, prefetch_hot=prefetch_hot,
+            )
         group = self._group()
         image = group.image_by_name(name) if name else group.latest_image
         if image is None:
             raise SlsError(f"no image {name!r} for group {group.name!r}")
-        return self.sls.restore(image, lazy=lazy, **kwargs)
+        return self.sls.restore(image, **options.engine_kwargs())
 
     def sls_rollback(self) -> tuple[list[Process], RestoreMetrics]:
         """Roll the group back to its last checkpoint (in place)."""
@@ -81,22 +168,42 @@ class AuroraApi:
             stores = group.store_backends()
             if not stores:
                 raise SlsError("sls_ntflush requires a store backend")
-            self._log = PersistentLog(
-                stores[0].store, owner_oid=self.proc.pid
+            store = stores[0].store
+            self._log = store.find_log(self.proc.pid) or PersistentLog(
+                store, owner_oid=self.proc.pid
             )
         return self._log.append(data, sync=sync)
 
+    def _locate_log(self) -> Optional[PersistentLog]:
+        """The group's persistent log for this process, if one exists.
+
+        ``sls_log_replay`` is the restore-time repair path: the
+        ``AuroraApi`` handle is fresh after a restore, so ``_log`` being
+        unset must not hide a log another incarnation already wrote.
+        The store keeps a registry of live logs by owner oid.
+        """
+        if self._log is None:
+            group = self._group()
+            for backend in group.store_backends():
+                found = backend.store.find_log(self.proc.pid)
+                if found is not None:
+                    self._log = found
+                    break
+        return self._log
+
     def sls_log_replay(self, since_seq: int = 0) -> list[tuple[int, bytes]]:
         """Replay ntflush records (restore-time repair path)."""
-        if self._log is None:
+        log = self._locate_log()
+        if log is None:
             return []
-        return self._log.replay(since_seq)
+        return log.replay(since_seq)
 
     def sls_log_truncate(self, seq: int) -> int:
         """Drop log records covered by a checkpoint."""
-        if self._log is None:
+        log = self._locate_log()
+        if log is None:
             return 0
-        return self._log.truncate_before(seq)
+        return log.truncate_before(seq)
 
     def sls_barrier(self) -> int:
         """Block until the group's latest checkpoint is durable."""
@@ -150,7 +257,7 @@ class AuroraApi:
         """
         if hint not in ("", "eager", "lazy"):
             raise SlsError(f"invalid sls_mctl hint {hint!r}")
-        affected = self.proc.aspace._entries_covering(
+        affected = self.proc.aspace.entries_covering(
             addr, addr + length, split=True
         )
         if not affected:

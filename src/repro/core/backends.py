@@ -20,7 +20,8 @@ import abc
 from typing import Optional
 
 from repro.core.checkpoint import CheckpointImage
-from repro.errors import BackendError
+from repro.errors import BackendError, HardwareError, PowerCut
+from repro.fault import names as fault_names
 from repro.hw.device import StorageDevice
 from repro.hw.netdev import NetworkEndpoint
 from repro.mem.cow import FreezeSet
@@ -55,6 +56,30 @@ class Backend(abc.ABC):
                 obs_names.C_BYTES_FLUSHED, backend=self.name
             ).inc(nbytes)
 
+    def _fire_persist(self, image: CheckpointImage) -> None:
+        """Failpoint ``backend.persist``: evaluated before any capture.
+
+        ``fail`` raises :class:`HardwareError` so the orchestrator's
+        per-backend handling degrades durability; ``crash`` unwinds as
+        a power cut to the harness.
+        """
+        if self.kernel is None or not self.kernel.faults.armed():
+            return
+        action = self.kernel.faults.fire(
+            fault_names.FP_BACKEND_PERSIST, backend=self.name, image=image.name
+        )
+        if action is None:
+            return
+        if action.kind == "crash":
+            raise PowerCut(
+                f"{self.name}: {action.reason or 'power cut during persist'}",
+                at_ns=self.kernel.clock.now,
+            )
+        if action.kind == "fail":
+            raise HardwareError(
+                f"{self.name}: {action.reason or 'injected persist failure'}"
+            )
+
     @abc.abstractmethod
     def persist(self, image: CheckpointImage, freeze_set: FreezeSet,
                 parent: Optional[CheckpointImage]) -> None:
@@ -81,12 +106,16 @@ class StoreBackend(Backend):
     def bind(self, kernel: Kernel) -> None:
         super().bind(kernel)
         # Attaching to a group is the natural moment to adopt the host
-        # kernel's observability plane (dedup/GC/segment counters).
+        # kernel's observability plane (dedup/GC/segment counters) and
+        # its fault-injection plane (failpoints reach the store/device).
         if self.store.obs is None:
             self.store.attach_obs(kernel.obs)
+        if self.store.faults is None:
+            self.store.attach_faults(kernel.faults)
 
     def persist(self, image, freeze_set, parent):
         assert self.kernel is not None, "backend not bound to a kernel"
+        self._fire_persist(image)
         base_map = parent.page_refs.get(self.name) if parent else None
         page_map, all_refs = capture_pages_to_store(
             freeze_set, self.store, base_map=base_map
@@ -179,6 +208,7 @@ class MemoryBackend(Backend):
 
     def persist(self, image, freeze_set, parent):
         assert self.kernel is not None, "backend not bound to a kernel"
+        self._fire_persist(image)
         base_map = parent.memory_pages if parent else None
         page_map, captured = capture_pages_to_memory(freeze_set, base_map=base_map)
         phys = self.kernel.phys
@@ -207,19 +237,82 @@ class RemoteBackend(Backend):
     network link; the image is durable here once it has *arrived* at
     the peer.  The receiving side (:mod:`repro.core.remote`) applies
     the stream into its own object store.
+
+    Sends retry with exponential virtual-time backoff when the peer
+    times out (failpoint ``backend.remote.send``); once the retry
+    budget is exhausted the backend *degrades to memory* — the encoded
+    image is buffered locally and re-shipped by :meth:`flush_backlog`
+    when connectivity returns.  A degraded image is not remotely
+    durable until the backlog drains.
     """
 
     kind = "remote"
 
-    def __init__(self, name: str, endpoint: NetworkEndpoint, peer: str):
+    def __init__(self, name: str, endpoint: NetworkEndpoint, peer: str,
+                 max_retries: int = 3, retry_backoff_ns: int = 1_000_000):
         super().__init__(name)
         self.endpoint = endpoint
         self.peer = peer
+        self.max_retries = max_retries
+        self.retry_backoff_ns = retry_backoff_ns
         self.images_sent = 0
         self.bytes_sent = 0
+        self.timeouts = 0
+        self.retries = 0
+        #: (image, payload) pairs awaiting a reachable peer
+        self._backlog: list[tuple[CheckpointImage, bytes]] = []
+
+    @property
+    def degraded(self) -> bool:
+        """Whether images are buffered in memory awaiting the peer."""
+        return bool(self._backlog)
+
+    def _try_send(self, payload: bytes, image_name: str):
+        """One send with retry-on-timeout; ``None`` means every attempt
+        timed out and the caller should degrade to memory."""
+        assert self.kernel is not None
+        backoff = self.retry_backoff_ns
+        for attempt in range(self.max_retries + 1):
+            action = None
+            if self.kernel.faults.armed():
+                action = self.kernel.faults.fire(
+                    fault_names.FP_REMOTE_SEND,
+                    backend=self.name, peer=self.peer,
+                    image=image_name, attempt=attempt,
+                )
+            if action is not None:
+                if action.kind == "crash":
+                    raise PowerCut(
+                        f"{self.name}: {action.reason or 'power cut during send'}",
+                        at_ns=self.kernel.clock.now,
+                    )
+                if action.kind == "fail":
+                    raise HardwareError(
+                        f"{self.name}: {action.reason or 'injected send failure'}"
+                    )
+                if action.kind in ("timeout", "drop"):
+                    self.timeouts += 1
+                    if attempt == self.max_retries:
+                        return None
+                    self.retries += 1
+                    self.kernel.clock.advance(backoff)
+                    backoff *= 2
+                    continue
+            return self.endpoint.send(self.peer, payload)
+        return None
+
+    def _schedule_durable(self, image: CheckpointImage, arrives: int) -> None:
+        name = self.name
+        if arrives <= self.kernel.clock.now:
+            image.mark_durable(name, self.kernel.clock.now)
+        else:
+            self.kernel.events.schedule(
+                arrives, lambda: image.mark_durable(name, arrives)
+            )
 
     def persist(self, image, freeze_set, parent):
         assert self.kernel is not None, "backend not bound to a kernel"
+        self._fire_persist(image)
         # Ship only the delta: pages captured by this freeze, plus the
         # metadata.  The peer overlays onto the images it already has.
         pages_payload = [
@@ -237,22 +330,42 @@ class RemoteBackend(Backend):
                 "pages": pages_payload,
             }
         )
-        message = self.endpoint.send(self.peer, payload)
-        self.images_sent += 1
-        self.bytes_sent += len(payload)
         image.metrics.bytes_flushed += len(payload)
         self._count_flushed(len(payload))
-        name = self.name
-        arrives = message.arrives_at
-        if arrives <= self.kernel.clock.now:
-            image.mark_durable(name, self.kernel.clock.now)
-        else:
-            self.kernel.events.schedule(
-                arrives, lambda: image.mark_durable(name, arrives)
-            )
+        message = self._try_send(payload, image.name)
+        if message is None:
+            # Degrade to memory: hold the encoded image locally; it is
+            # not remotely durable until flush_backlog re-ships it.
+            self._backlog.append((image, payload))
+            return
+        self.images_sent += 1
+        self.bytes_sent += len(payload)
+        self._schedule_durable(image, message.arrives_at)
+
+    def flush_backlog(self) -> int:
+        """Re-ship images buffered while the peer was unreachable.
+
+        Returns the number of images drained; each becomes remotely
+        durable when its payload arrives at the peer.
+        """
+        assert self.kernel is not None, "backend not bound to a kernel"
+        remaining: list[tuple[CheckpointImage, bytes]] = []
+        drained = 0
+        for image, payload in self._backlog:
+            message = self._try_send(payload, image.name)
+            if message is None:
+                remaining.append((image, payload))
+                continue
+            self.images_sent += 1
+            self.bytes_sent += len(payload)
+            self._schedule_durable(image, message.arrives_at)
+            drained += 1
+        self._backlog = remaining
+        return drained
 
     def delete_image(self, image: CheckpointImage) -> None:
         """Remote retention is the peer's policy; nothing local."""
+        self._backlog = [(i, p) for i, p in self._backlog if i is not image]
 
 
 def make_disk_backend(kernel: Kernel, device: StorageDevice, name: str = "disk0") -> DiskBackend:

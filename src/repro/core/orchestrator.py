@@ -22,6 +22,7 @@ from repro.core.checkpoint import CheckpointImage
 from repro.core.extcons import ExternalConsistency
 from repro.core.group import DEFAULT_PERIOD_NS, PersistenceGroup
 from repro.core.metrics import CheckpointMetrics
+from repro.core.options import CheckpointOptions
 from repro.core.restore import RestoreEngine
 from repro.errors import (
     BackendError,
@@ -156,14 +157,21 @@ class SLS:
         group: PersistenceGroup,
         full: Optional[bool] = None,
         name: Optional[str] = None,
+        *,
+        sync: bool = False,
+        options: Optional[CheckpointOptions] = None,
     ) -> CheckpointImage:
         """Take one checkpoint of ``group`` (the serialization barrier).
 
         ``full=None`` picks automatically: the first checkpoint is
         full, later ones incremental.  Data is flushed to the attached
         backends asynchronously; use :meth:`barrier` to wait for
-        durability.
+        durability, or pass ``sync=True`` to fold the barrier in.
+        An ``options`` object carries all three knobs as one value
+        (and wins over the individual arguments).
         """
+        if options is not None:
+            full, name, sync = options.full, options.name, options.sync
         procs = group.processes()
         if not procs:
             raise CheckpointError(f"group {group.name!r} has no live processes")
@@ -323,6 +331,8 @@ class SLS:
         reg.histogram(
             obs_names.H_STOP_TIME, group=group.name
         ).observe(metrics.stop_time_ns)
+        if sync:
+            self.barrier(group)
         return image
 
     # -- durability ---------------------------------------------------------------------

@@ -22,11 +22,16 @@ exercise torn-checkpoint handling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
-from repro.errors import DeviceFullError, DeviceIOError
+from repro.errors import DeviceFullError, DeviceIOError, PowerCut
+from repro.fault import names as fault_names
 from repro.hw.specs import DeviceSpec
 from repro.sim.clock import SimClock
 from repro.units import transfer_ns
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fault.registry import FailpointRegistry
 
 _BLOCK = 4096
 
@@ -81,6 +86,8 @@ class StorageDevice:
         self._failed = False
         #: error injection: fail the next N operations
         self._inject_failures = 0
+        #: failpoint plane (repro.fault); None = zero-cost disarmed
+        self.faults: Optional["FailpointRegistry"] = None
 
     # -- capacity --------------------------------------------------------
 
@@ -96,6 +103,26 @@ class StorageDevice:
     def inject_failures(self, count: int = 1) -> None:
         """Make the next ``count`` I/O operations raise ``DeviceIOError``."""
         self._inject_failures += count
+
+    def attach_faults(self, registry: "FailpointRegistry") -> None:
+        """Adopt a machine's failpoint registry (see FAULTS.md)."""
+        self.faults = registry
+
+    def _fire(self, name: str, **labels):
+        """Evaluate a failpoint; translates machine-wide actions.
+
+        ``crash`` unwinds as :class:`PowerCut` from any device site;
+        other actions are returned for the caller to interpret.
+        """
+        if self.faults is None:
+            return None
+        action = self.faults.fire(name, device=self.name, **labels)
+        if action is not None and action.kind == "crash":
+            raise PowerCut(
+                f"{self.name}: {action.reason or 'injected power cut'}",
+                at_ns=self.clock.now,
+            )
+        return action
 
     # -- cost model ------------------------------------------------------
 
@@ -157,6 +184,11 @@ class StorageDevice:
         compactly but their on-media size is a full page.
         """
         self._check_fault()
+        action = self._fire(fault_names.FP_DEVICE_READ, nbytes=nbytes)
+        if action is not None and action.kind == "fail":
+            raise DeviceIOError(
+                f"{self.name}: {action.reason or 'injected read failure'}"
+            )
         if nbytes < 0 or offset < 0:
             raise DeviceIOError("negative read extent")
         ticket = self._occupy(
@@ -181,8 +213,18 @@ class StorageDevice:
         The data is visible to subsequent reads immediately (device
         buffer) but is only *durable* — i.e. survives :meth:`crash` —
         once the clock passes ``ticket.completes_at``.
+
+        Failpoint ``device.write`` fires before the media changes:
+        ``crash`` unwinds (the write never happened), ``fail`` raises,
+        ``torn`` lands only a prefix of the payload, and ``drop``
+        acknowledges the write without touching the media at all.
         """
         self._check_fault()
+        action = self._fire(fault_names.FP_DEVICE_WRITE, nbytes=len(data))
+        if action is not None and action.kind == "fail":
+            raise DeviceIOError(
+                f"{self.name}: {action.reason or 'injected write failure'}"
+            )
         if offset < 0:
             raise DeviceIOError("negative write offset")
         end = offset + len(data)
@@ -195,10 +237,16 @@ class StorageDevice:
             self.spec.write_latency_ns,
             self.spec.write_bandwidth,
         )
-        self._store(offset, data)
-        self._pending.append(
-            _PendingWrite(offset=offset, data=bytes(data), durable_at=ticket.completes_at)
-        )
+        if action is not None and action.kind == "torn":
+            # Only a prefix reaches the media; the caller is not told.
+            data = bytes(data)[: int(len(data) * action.fraction)]
+        if action is None or action.kind != "drop":
+            self._store(offset, data)
+            self._pending.append(
+                _PendingWrite(
+                    offset=offset, data=bytes(data), durable_at=ticket.completes_at
+                )
+            )
         self.stats.writes += 1
         self.stats.bytes_written += max(len(data), logical_nbytes or 0)
         return ticket
@@ -209,6 +257,16 @@ class StorageDevice:
         Returns the time at which the device became idle.  This is the
         device-level primitive behind ``sls_barrier``.
         """
+        action = self._fire(fault_names.FP_DEVICE_FLUSH)
+        if action is not None:
+            if action.kind == "fail":
+                raise DeviceIOError(
+                    f"{self.name}: {action.reason or 'injected flush failure'}"
+                )
+            if action.kind == "drop":
+                # The flush is acknowledged but nothing drains: queued
+                # writes stay in flight and a later crash tears them.
+                return self.clock.now
         deadline = self.clock.now
         for pending in self._pending:
             deadline = max(deadline, pending.durable_at)

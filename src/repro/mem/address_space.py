@@ -228,8 +228,16 @@ class AddressSpace:
         self.entries.sort(key=lambda e: e.start)
         return upper
 
-    def _entries_covering(self, start: int, end: int, split: bool) -> list[VMEntry]:
-        """Entries intersecting [start, end), split to the boundary."""
+    def entries_covering(
+        self, start: int, end: int, split: bool = False
+    ) -> list[VMEntry]:
+        """Entries intersecting [start, end).
+
+        With ``split=True`` entries straddling either boundary are
+        split at it first, so every returned entry lies entirely
+        inside the range — the form ``munmap``/``mprotect`` and
+        ``sls_mctl`` need to retag exactly the requested pages.
+        """
         hits = []
         for entry in list(self.entries):
             if entry.end <= start or entry.start >= end:
@@ -241,13 +249,16 @@ class AddressSpace:
             hits.append(entry)
         return hits
 
+    # Backwards-compatible alias; prefer the public spelling.
+    _entries_covering = entries_covering
+
     def munmap(self, addr: int, length: int) -> int:
         """Unmap [addr, addr+length); returns the number of entries removed."""
         if addr & PAGE_MASK or length <= 0:
             raise MappingError("munmap range must be page aligned and positive")
         end = addr + page_align_up(length)
         removed = 0
-        for entry in self._entries_covering(addr, end, split=True):
+        for entry in self.entries_covering(addr, end, split=True):
             self.pagetable.remove_range(entry.start_vpn, entry.end_vpn)
             entry.obj.unregister_mapping(entry)
             entry.obj.unref()
@@ -257,7 +268,7 @@ class AddressSpace:
 
     def mprotect(self, addr: int, length: int, prot: int) -> None:
         end = addr + page_align_up(length)
-        covered = self._entries_covering(addr, end, split=True)
+        covered = self.entries_covering(addr, end, split=True)
         if not covered:
             raise MappingError(f"mprotect of unmapped range {addr:#x}")
         for entry in covered:

@@ -11,8 +11,13 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import StoreFullError
+from repro.fault import names as fault_names
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fault.registry import FailpointRegistry
 
 
 @dataclass(frozen=True)
@@ -36,6 +41,8 @@ class ExtentAllocator:
         #: sorted, disjoint, coalesced free list of [offset, end) pairs
         self._free: list[list[int]] = [[base, base + size]]
         self.allocated_bytes = 0
+        #: failpoint plane (set by ObjectStore.attach_faults)
+        self.faults: Optional["FailpointRegistry"] = None
 
     @property
     def free_bytes(self) -> int:
@@ -44,6 +51,12 @@ class ExtentAllocator:
     def allocate(self, length: int) -> Extent:
         if length <= 0:
             raise ValueError("allocation length must be positive")
+        if self.faults is not None:
+            action = self.faults.fire(fault_names.FP_STORE_ALLOC, length=length)
+            if action is not None and action.kind == "fail":
+                raise StoreFullError(
+                    action.reason or f"injected allocation failure ({length} bytes)"
+                )
         for i, (start, end) in enumerate(self._free):
             if end - start >= length:
                 extent = Extent(offset=start, length=length)

@@ -11,8 +11,10 @@ code during restore to repair data structures based on the log").
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.errors import ChecksumError, ObjectStoreError
+from repro.errors import ChecksumError, ObjectStoreError, PowerCut
+from repro.fault import names as fault_names
 from repro.hw.device import IoTicket
 from repro.objstore.alloc import Extent
 from repro.objstore.record import (
@@ -37,15 +39,27 @@ class LogAppend:
 class PersistentLog:
     """An append-only log region carved out of the object store."""
 
-    def __init__(self, store: ObjectStore, owner_oid: int, capacity: int = 64 * 1024 * 1024):
+    def __init__(self, store: ObjectStore, owner_oid: int,
+                 capacity: int = 64 * 1024 * 1024,
+                 region: Optional[Extent] = None):
         self.store = store
         self.owner_oid = owner_oid
-        self.region = store.allocator.allocate(capacity)
+        if region is None:
+            region = store.allocator.allocate(capacity)
+        else:
+            # Re-opening a known region (post-crash scan): claim it if
+            # the rebuilt allocator still considers it free.
+            try:
+                store.allocator.reserve(region)
+            except ValueError:
+                pass  # already reserved by the caller
+        self.region = region
         self.head = 0  # write offset within the region
         self.next_seq = 1
         #: seq of the first record NOT covered by a checkpoint yet
         self.checkpoint_seq = 1
         self._extents: list[tuple[int, Extent]] = []
+        store.register_log(self)
 
     @property
     def capacity(self) -> int:
@@ -63,6 +77,21 @@ class PersistentLog:
         of a WAL record — but a single sequential device write, not a
         filesystem journal dance).
         """
+        if self.store.faults is not None:
+            action = self.store.faults.fire(
+                fault_names.FP_LOG_APPEND,
+                owner=self.owner_oid, seq=self.next_seq,
+            )
+            if action is not None:
+                if action.kind == "crash":
+                    raise PowerCut(
+                        action.reason or f"power cut appending seq {self.next_seq}",
+                        at_ns=self.store.device.clock.now,
+                    )
+                if action.kind == "fail":
+                    raise ObjectStoreError(
+                        action.reason or "injected log-append failure"
+                    )
         record = pack_record(
             kind=KIND_LOG, oid=self.owner_oid, epoch=self.next_seq, payload=payload
         )

@@ -19,7 +19,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
-from repro.errors import ChecksumError, NoSuchObject, ObjectStoreError
+from repro.errors import ChecksumError, NoSuchObject, ObjectStoreError, PowerCut
+from repro.fault import names as fault_names
 from repro.hw.device import StorageDevice
 from repro.mem.address_space import MemContext
 from repro.obs import names as obs_names
@@ -40,7 +41,9 @@ from repro.objstore.snapshot import Snapshot, SnapshotDirectory
 from repro.units import PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.fault.registry import FailpointRegistry
     from repro.obs import KernelObs
+    from repro.objstore.log import PersistentLog
 
 #: reads of nearby extents are coalesced into one device op when the
 #: gap between them is below this (restore-path sequential-read model)
@@ -104,6 +107,10 @@ class ObjectStore:
         #: extents freed by refcount-zero, awaiting in-place GC
         self.garbage: list[Extent] = []
         self._bytes_since_commit = 0
+        #: failpoint plane (repro.fault); None = zero-cost disarmed
+        self.faults: Optional["FailpointRegistry"] = None
+        #: persistent logs carved out of this store, keyed by owner oid
+        self._logs: dict[int, "PersistentLog"] = {}
 
     def attach_obs(self, obs: "KernelObs") -> None:
         """Adopt a kernel's observability plane (instruments cached —
@@ -120,6 +127,28 @@ class ObjectStore:
             obs_names.C_STORE_SNAPSHOTS_DELETED, store=store
         )
 
+    def attach_faults(self, registry: "FailpointRegistry") -> None:
+        """Adopt a machine's failpoint registry for the store, its
+        allocator, and its backing device (see FAULTS.md)."""
+        self.faults = registry
+        self.allocator.faults = registry
+        self.device.attach_faults(registry)
+
+    # -- persistent logs ---------------------------------------------------------
+
+    def register_log(self, log: "PersistentLog") -> None:
+        """Index a persistent log by its owner oid (``find_log``)."""
+        self._logs[log.owner_oid] = log
+
+    def find_log(self, owner_oid: int) -> Optional["PersistentLog"]:
+        """The live persistent log owned by ``owner_oid``, if any.
+
+        A fresh :class:`~repro.core.api.AuroraApi` (e.g. rebuilt after
+        a restore) locates the group's existing log here instead of
+        pretending the log is empty.
+        """
+        return self._logs.get(owner_oid)
+
     # -- internals -------------------------------------------------------------
 
     def _charge(self, ns: float) -> None:
@@ -131,6 +160,21 @@ class ObjectStore:
 
     def _write_record(self, kind: int, oid: int, epoch: int, payload: bytes,
                       sync: bool, logical: Optional[int] = None) -> Extent:
+        if self.faults is not None:
+            action = self.faults.fire(
+                fault_names.FP_STORE_WRITE_RECORD,
+                store=self.device.name, kind=kind,
+            )
+            if action is not None:
+                if action.kind == "crash":
+                    raise PowerCut(
+                        action.reason or "power cut before record write",
+                        at_ns=self._now(),
+                    )
+                if action.kind == "fail":
+                    raise ObjectStoreError(
+                        action.reason or "injected record-write failure"
+                    )
         record = pack_record(kind=kind, oid=oid, epoch=epoch, payload=payload)
         extent = self.allocator.allocate(len(record))
         self.volume.write_data(extent.offset, record, sync=sync, logical=logical)
@@ -275,6 +319,21 @@ class ObjectStore:
                 for p in pages
             ],
         }
+        if self.faults is not None:
+            action = self.faults.fire(
+                fault_names.FP_STORE_COMMIT,
+                store=self.device.name, snapshot=name,
+            )
+            if action is not None:
+                if action.kind == "crash":
+                    raise PowerCut(
+                        action.reason or f"power cut committing {name!r}",
+                        at_ns=self._now(),
+                    )
+                if action.kind == "fail":
+                    raise ObjectStoreError(
+                        action.reason or f"injected commit failure for {name!r}"
+                    )
         payload = encode(manifest_value)
         manifest_extent = self._write_record(KIND_MANIFEST, 0, epoch, payload, sync)
         snapshot = Snapshot(
@@ -378,9 +437,11 @@ class ObjectStore:
         self.allocator = ExtentAllocator(
             base=self.volume.data_base, size=self.volume.data_size
         )
+        self.allocator.faults = self.faults
         self.dedup = DedupIndex()
         self._meta_refs = {}
         self.garbage = []
+        self._logs = {}
         super_read = self.volume.read_superblock()
         if super_read is None:
             self.directory = SnapshotDirectory()

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import NoSuchProcess, PosixError
+from repro.fault import FailpointRegistry
 from repro.hw.device import StorageDevice
 from repro.hw.nvme import NvmeDevice
 from repro.hw.specs import DEFAULT_CPU, CpuCostModel
@@ -66,6 +67,8 @@ class Kernel:
         self.mem = MemContext(self.clock, self.phys, cpu=cpu)
         #: observability plane: tracer + metric registry (repro.obs)
         self.obs = KernelObs(self.clock, label=hostname)
+        #: fault-injection plane: failpoint registry (repro.fault)
+        self.faults = FailpointRegistry(clock=self.clock)
         self.cow = AuroraCow(self.mem)
         self.cow.attach_obs(self.obs)
         self.registry = ObjectRegistry()
@@ -103,6 +106,7 @@ class Kernel:
 
     def add_device(self, device: StorageDevice) -> StorageDevice:
         self.devices.append(device)
+        device.attach_faults(self.faults)
         return device
 
     @property

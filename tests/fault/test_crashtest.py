@@ -1,0 +1,89 @@
+"""The crash-consistency sweep (repro.fault.crashtest).
+
+The acceptance bar for the fault plane: ≥ 50 distinct crash points
+across the commit, log-append, GC, and SLSFS-snapshot paths, every
+recovery prefix-consistent and leak-free with a restorable latest
+image, deterministically under a fixed seed.
+"""
+
+from repro.fault import names
+from repro.fault.crashtest import (
+    CHECKPOINTS,
+    SWEEP_SITES,
+    WorkloadState,
+    _boot,
+    golden_hits,
+    run_crash_point,
+    run_sweep,
+    run_workload,
+)
+
+
+class TestWorkload:
+    def test_golden_run_completes_and_hits_every_site(self):
+        hits = golden_hits()
+        assert set(hits) == set(SWEEP_SITES)
+        assert all(count > 0 for count in hits.values())
+
+    def test_golden_run_records_ground_truth(self):
+        kernel, device = _boot(seed=1)
+        state = run_workload(kernel, device, WorkloadState())
+        assert state.completed
+        assert len(state.heap_expect) == CHECKPOINTS
+        assert len(state.log_appended) == CHECKPOINTS
+        # Every superblock generation written is in the history.
+        assert sorted(state.history) == list(range(len(state.history)))
+
+
+class TestSweep:
+    def test_full_sweep_is_clean_and_wide(self):
+        report = run_sweep()
+        assert not report.failures, "\n".join(report.failures)
+        # The acceptance floor: ≥ 50 distinct crash points...
+        assert len(report.crash_points) >= 50
+        # ...spread across the four consistency-critical paths.
+        fired = report.fired_by_site()
+        assert fired.get(names.FP_STORE_COMMIT, 0) >= CHECKPOINTS
+        assert fired.get(names.FP_LOG_APPEND, 0) >= CHECKPOINTS
+        assert fired.get(names.FP_GC_COLLECT, 0) >= 1
+        assert fired.get(names.FP_FS_SYNC, 0) >= CHECKPOINTS
+        assert fired.get(names.FP_DEVICE_WRITE, 0) >= 30
+        # Every armed point actually fired (indices came from golden).
+        assert len(report.crash_points) == len(report.points)
+
+    def test_sweep_is_deterministic(self):
+        def fingerprint(report):
+            return [
+                (p.site, p.index, p.at_ns, p.generation,
+                 p.snapshots_recovered)
+                for p in report.points
+            ]
+
+        a = run_sweep(stride=8)
+        b = run_sweep(stride=8)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_summary_renders(self):
+        report = run_sweep(stride=16)
+        text = report.summary()
+        assert "crash sweep" in text
+        assert names.FP_STORE_COMMIT in text
+
+
+class TestCrashPointOracles:
+    def test_crash_before_any_write_recovers_empty(self):
+        point = run_crash_point(names.FP_DEVICE_WRITE, 0)
+        assert point.fired
+        assert point.generation == 0
+        assert point.snapshots_recovered == 0
+        assert not point.failures
+
+    def test_crash_on_last_commit_keeps_prefix(self):
+        hits = golden_hits()
+        point = run_crash_point(
+            names.FP_STORE_COMMIT, hits[names.FP_STORE_COMMIT] - 1
+        )
+        assert point.fired
+        assert not point.failures
+        # Everything before the torn final commit survived.
+        assert point.snapshots_recovered > 0

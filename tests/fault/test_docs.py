@@ -1,0 +1,37 @@
+"""FAULTS.md must document every shipped failpoint.
+
+The catalogue in ``repro.fault.names`` is the single source of truth;
+this test pins the docs to it so neither can drift — the same
+contract ``tests/obs/test_docs.py`` holds for OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.fault import ACTION_KINDS, names
+
+DOC = Path(__file__).resolve().parent.parent.parent / "FAULTS.md"
+
+
+def test_every_failpoint_is_documented():
+    text = DOC.read_text()
+    missing = [name for name in names.catalogue() if name not in text]
+    assert not missing, (
+        "failpoints shipped in repro.fault.names but absent from FAULTS.md:\n"
+        + "\n".join(missing)
+    )
+
+
+def test_every_action_kind_is_documented():
+    text = DOC.read_text()
+    missing = [f"``{kind}``" for kind in ACTION_KINDS if f"``{kind}``" not in text]
+    assert not missing, (
+        "action kinds absent from FAULTS.md: " + ", ".join(missing)
+    )
+
+
+def test_catalogue_is_sorted_and_nonempty():
+    cat = names.catalogue()
+    assert cat == sorted(cat)
+    assert len(cat) >= 10
