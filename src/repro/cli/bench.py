@@ -1,0 +1,240 @@
+"""The pinned benchmark suite behind ``sls bench``.
+
+A small, fixed set of checkpoint/restore scenarios whose numbers are
+pure virtual-clock arithmetic: no wall-clock input, no randomness, no
+machine dependence.  Two runs — on any two machines — produce
+byte-identical JSON, which is what lets CI diff the output against a
+committed baseline (``benchmarks/results/baseline.json``) and fail on
+regression instead of eyeballing noisy timings.
+
+The headline scenario is the batched checkpoint flush path: the same
+dirty working set is flushed through the legacy one-command-per-record
+path and the coalescing :class:`~repro.objstore.store.WriteBatch`
+path, across NVMe queue depths.  The suite reports flush latency,
+doorbells, and submit stalls per cell, plus the batched/unbatched
+speedup at each depth (scaled ×1000 to stay integer).  See
+BENCHMARKS.md for the baseline-refresh procedure.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.core.backends import DiskBackend
+from repro.core.orchestrator import SLS
+from repro.core.restore import load_image_from_store
+from repro.hw.nvme import NvmeDevice
+from repro.hw.specs import OPTANE_900P, with_queue_model
+from repro.obs import names as obs_names
+from repro.objstore.store import ObjectStore
+from repro.posix.kernel import Kernel
+from repro.posix.syscalls import Syscalls
+from repro.units import GIB, PAGE_SIZE
+
+#: bump when scenario shape changes incompatibly (forces a baseline refresh)
+SUITE_VERSION = 2
+
+#: distinct-content dirty pages flushed per checkpoint
+PAGES = 512
+
+#: queue depths the flush scenario sweeps (0 = legacy unbounded model)
+QUEUE_DEPTHS = (1, 8, 16)
+
+
+def _boot(queue_depth: int, batched: bool):
+    """One fresh machine + group + disk backend for one bench cell."""
+    kernel = Kernel(hostname="bench", memory_bytes=2 * GIB)
+    spec = (
+        with_queue_model(OPTANE_900P, queue_depth)
+        if queue_depth > 0
+        else OPTANE_900P
+    )
+    device = NvmeDevice(kernel.clock, spec=spec, name="bench-nvme")
+    sls = SLS(kernel)
+    proc = kernel.spawn("bench-app")
+    sysc = Syscalls(kernel, proc)
+    heap = sysc.mmap(PAGES * PAGE_SIZE, name="heap")
+    sysc.populate(
+        heap.start, PAGES * PAGE_SIZE, fill_fn=lambda i: b"bench-page-%08d" % i
+    )
+    group = sls.persist(proc, name="bench")
+    store = ObjectStore(device, mem=kernel.mem)
+    backend = DiskBackend("disk0", store, batched=batched)
+    backend.bind(kernel)
+    group.attach(backend)
+    return kernel, sls, sysc, group, backend, heap
+
+
+def _checkpoint_flush_cell(queue_depth: int, batched: bool) -> dict:
+    """Flush ``PAGES`` distinct pages through one full checkpoint."""
+    kernel, sls, sysc, group, backend, heap = _boot(queue_depth, batched)
+    image = sls.checkpoint(group, name="bench-full")
+    sls.barrier(group)
+    info = image.flush_info["disk0"]
+    metrics = image.metrics
+
+    # One incremental on a quarter of the heap, pipelined against the
+    # full image's (already durable) flush shape for a second data point.
+    step = 4
+    for page in range(0, PAGES, step):
+        sysc.poke(heap.start + page * PAGE_SIZE, b"dirty-%08d" % page)
+    incr = sls.checkpoint(group, name="bench-incr")
+    sls.barrier(group)
+    incr_info = incr.flush_info["disk0"]
+
+    return {
+        "stop_ns": int(metrics.stop_time_ns),
+        "flush_lag_ns": int(metrics.flush_lag_ns),
+        "doorbells": int(info.doorbells),
+        "records": int(info.records),
+        "extents": int(info.extents),
+        "submit_stall_ns": int(info.submit_stall_ns),
+        "incr_flush_lag_ns": int(incr.metrics.flush_lag_ns),
+        "incr_doorbells": int(incr_info.doorbells),
+    }
+
+
+def _pipeline_cell() -> dict:
+    """Two back-to-back checkpoints with no barrier between: the second
+    barrier entry lands while the first flush is still in flight."""
+    kernel, sls, sysc, group, backend, heap = _boot(8, batched=True)
+    sls.checkpoint(group, name="pipe-0")
+    first = group.latest_image
+    overlapped = not first.durable
+    sysc.poke(heap.start, b"pipe-dirty")
+    second = sls.checkpoint(group, name="pipe-1")
+    sls.barrier(group)
+    pipelined = int(
+        kernel.obs.registry.counter(
+            obs_names.C_CKPT_PIPELINED, group="bench"
+        ).value
+    )
+    return {
+        "overlapped": int(overlapped),
+        "pipelined_checkpoints": pipelined,
+        "second_stop_ns": int(second.metrics.stop_time_ns),
+        "second_flush_lag_ns": int(second.metrics.flush_lag_ns),
+    }
+
+
+def _restore_cell() -> dict:
+    """Read a full checkpoint back from the store (restore path)."""
+    kernel, sls, sysc, group, backend, heap = _boot(8, batched=True)
+    sls.checkpoint(group, name="restore-src")
+    sls.barrier(group)
+    store = backend.store
+    snapshot = store.snapshot_by_name("restore-src")
+    restored_kernel = Kernel(
+        hostname="bench-restored", memory_bytes=2 * GIB, clock=kernel.clock
+    )
+    restored_sls = SLS(restored_kernel)
+    image = load_image_from_store(store, snapshot)
+    before = kernel.clock.now
+    _procs, metrics = restored_sls.restore(
+        image, backend_name="disk0", store=store
+    )
+    return {
+        "total_ns": int(kernel.clock.now - before),
+        "objstore_read_ns": int(metrics.objstore_read_ns),
+        "memory_ns": int(metrics.memory_ns),
+        "metadata_ns": int(metrics.metadata_ns),
+        "pages_installed": int(metrics.pages_installed),
+    }
+
+
+def run_suite() -> dict:
+    """Run every scenario; returns the deterministic result tree."""
+    flush: dict[str, dict] = {}
+    for queue_depth in QUEUE_DEPTHS:
+        for batched in (False, True):
+            mode = "batched" if batched else "unbatched"
+            flush[f"{mode}_qd{queue_depth}"] = _checkpoint_flush_cell(
+                queue_depth, batched
+            )
+    derived = {}
+    for queue_depth in QUEUE_DEPTHS:
+        base = flush[f"unbatched_qd{queue_depth}"]["flush_lag_ns"]
+        new = flush[f"batched_qd{queue_depth}"]["flush_lag_ns"]
+        derived[f"speedup_qd{queue_depth}_x1000"] = (
+            base * 1000 // new if new else 0
+        )
+    return {
+        "meta": {
+            "suite_version": SUITE_VERSION,
+            "pages": PAGES,
+            "queue_depths": list(QUEUE_DEPTHS),
+        },
+        "checkpoint_flush": flush,
+        "pipeline": _pipeline_cell(),
+        "restore": _restore_cell(),
+        "derived": derived,
+    }
+
+
+def to_json(results: dict) -> str:
+    """Canonical byte-stable rendering (what CI diffs)."""
+    return json.dumps(results, sort_keys=True, indent=2) + "\n"
+
+
+# --- baseline comparison (the CI regression gate) ----------------------------
+
+#: leaf keys where a *higher* current value is a regression
+_HIGHER_IS_WORSE = ("_ns",)
+#: leaf keys where a *lower* current value is a regression
+_LOWER_IS_WORSE = ("speedup_",)
+
+
+def _walk(tree: dict, path: str = ""):
+    for key, value in tree.items():
+        here = f"{path}.{key}" if path else key
+        if isinstance(value, dict):
+            yield from _walk(value, here)
+        else:
+            yield here, key, value
+
+
+def compare(current: dict, baseline: dict,
+            tolerance: float = 0.05) -> list[str]:
+    """Diff ``current`` against ``baseline``; returns regression lines.
+
+    Timing leaves (``*_ns``) regress when they exceed the baseline by
+    more than ``tolerance``; ``speedup_*`` leaves regress when they
+    fall below it by more than ``tolerance``.  A leaf present in the
+    baseline but missing from the current run is always a regression
+    (a silently dropped scenario must not pass the gate).  Leaves new
+    in ``current`` are ignored, so adding scenarios does not require a
+    lockstep baseline update.
+    """
+    regressions: list[str] = []
+    for path, key, base_value in _walk(baseline):
+        node: Optional[dict] = current
+        for part in path.split(".")[:-1]:
+            node = node.get(part) if isinstance(node, dict) else None
+        value = node.get(key) if isinstance(node, dict) else None
+        if value is None:
+            regressions.append(f"{path}: missing from current run")
+            continue
+        if path.startswith("meta.") or not isinstance(
+            base_value, (int, float)
+        ) or isinstance(base_value, bool):
+            # ``meta`` describes the scenario shape; any drift means
+            # the baseline needs a refresh, not a tolerance band.
+            if value != base_value:
+                regressions.append(
+                    f"{path}: {value!r} != baseline {base_value!r}"
+                )
+            continue
+        if key.endswith(_HIGHER_IS_WORSE):
+            if value > base_value * (1 + tolerance):
+                regressions.append(
+                    f"{path}: {value} exceeds baseline {base_value} "
+                    f"by more than {tolerance:.0%}"
+                )
+        elif key.startswith(_LOWER_IS_WORSE):
+            if value < base_value * (1 - tolerance):
+                regressions.append(
+                    f"{path}: {value} fell below baseline {base_value} "
+                    f"by more than {tolerance:.0%}"
+                )
+    return regressions

@@ -28,6 +28,10 @@ tracing enabled and report what every kernel it booted recorded:
 power cuts at every hit of every swept failpoint, each followed by
 recovery and the prefix-consistency/leak/restore oracles.
 
+``sls bench`` runs the pinned virtual-clock benchmark suite (see
+BENCHMARKS.md): deterministic, byte-stable JSON that CI diffs against
+``benchmarks/results/baseline.json`` to gate performance regressions.
+
 ``FILE`` may be a Python program (run like ``python FILE``) or an sls
 command script; with no file the canned demo is traced.
 """
@@ -168,6 +172,32 @@ def cmd_crashtest(args) -> int:
     return 1 if report.failures else 0
 
 
+def cmd_bench(args) -> int:
+    from repro.cli.bench import compare, run_suite, to_json
+
+    results = run_suite()
+    rendered = to_json(results)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote benchmark results to {args.json}")
+    else:
+        print(rendered, end="")
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        regressions = compare(results, baseline, tolerance=args.tolerance)
+        if regressions:
+            print(f"REGRESSIONS vs {args.compare} "
+                  f"(tolerance {args.tolerance:.0%}):", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.compare} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def cmd_stats(args) -> int:
     keep = _run_traced(args.file)
     observers = obs.all_observers()
@@ -219,6 +249,16 @@ def main(argv=None) -> int:
                        help="subsample the device-write sweep by this step")
     crash.add_argument("--json", metavar="PATH", default=None,
                        help="also export crash points as JSON lines")
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned virtual-clock benchmark suite (deterministic)",
+    )
+    bench.add_argument("--json", metavar="PATH", default=None,
+                       help="write results to PATH instead of stdout")
+    bench.add_argument("--compare", metavar="BASELINE", default=None,
+                       help="diff against a baseline JSON; exit 1 on regression")
+    bench.add_argument("--tolerance", type=float, default=0.05,
+                       help="relative slack for the comparison (default 0.05)")
     args = parser.parse_args(argv)
 
     if args.mode == "trace":
@@ -227,6 +267,8 @@ def main(argv=None) -> int:
         return cmd_stats(args)
     if args.mode == "crashtest":
         return cmd_crashtest(args)
+    if args.mode == "bench":
+        return cmd_bench(args)
 
     session = SlsSession()
     if args.mode in (None, "demo"):

@@ -25,6 +25,28 @@ from repro.units import PAGE_SIZE
 PageMap = dict[int, dict[int, object]]
 
 
+@dataclass(frozen=True)
+class FlushInfo:
+    """How one backend submitted this image's flush (batched path).
+
+    Captured per persist from the device's submission-model deltas, so
+    benchmarks and tests can assert doorbell amortization without
+    reaching into device internals.
+    """
+
+    submitted_at_ns: int
+    #: records buffered through the epoch's WriteBatch
+    records: int
+    #: coalesced extents those records flushed as
+    extents: int
+    #: doorbells the whole persist rang (batch + meta + superblock)
+    doorbells: int
+    #: logical bytes flushed through the batch
+    nbytes: int
+    #: ns the submitter stalled on a full device queue
+    submit_stall_ns: int
+
+
 @dataclass
 class CheckpointImage:
     """One checkpoint of one persistence group."""
@@ -40,6 +62,8 @@ class CheckpointImage:
     snapshots: dict[str, Snapshot] = field(default_factory=dict)
     #: backend name -> page map of PageRefs (disk-like backends)
     page_refs: dict[str, PageMap] = field(default_factory=dict)
+    #: backend name -> submission accounting for this image's flush
+    flush_info: dict[str, "FlushInfo"] = field(default_factory=dict)
     #: memory-backend page map of held frozen frames
     memory_pages: Optional[PageMap] = None
     #: (oid, pindex) pairs whose frames this image holds references on

@@ -191,6 +191,29 @@ class SLS:
             incremental = False
             group.force_full = False
 
+        # Pipelining: COW capture of checkpoint N overlaps the async
+        # flush of N-1 whenever the previous image is still in flight
+        # at barrier entry (the flush is asynchronous, so nothing here
+        # waits — this records how often and for how long it happens).
+        prev = group.latest_image
+        entered_at = clock.now
+        pipelined = prev is not None and not prev.durable
+        if pipelined:
+            obs.registry.counter(
+                obs_names.C_CKPT_PIPELINED, group=group.name
+            ).inc()
+
+            def _observe_overlap(img, _entered=entered_at, _group=group.name):
+                # How long the previous flush ran concurrently with (and
+                # past) this checkpoint: its durability time minus our
+                # barrier entry.
+                durable_at = img.metrics.durable_at_ns or _entered
+                obs.registry.histogram(
+                    obs_names.H_FLUSH_OVERLAP, group=_group
+                ).observe(max(0, durable_at - _entered))
+
+            prev.on_durable(_observe_overlap)
+
         # The span tree IS the measurement: CheckpointMetrics (the
         # Table 3 record) is derived from it below, so the trace and
         # the printed breakdown cannot disagree.
@@ -199,6 +222,7 @@ class SLS:
             group=group.name,
             incremental=incremental,
             backends=len(group.backends),
+            pipelined=pipelined,
         ) as ckpt_span:
             tracer.event(
                 obs_names.EV_BARRIER_ENTER, group=group.name, procs=len(procs)
@@ -295,7 +319,15 @@ class SLS:
                         # the healthy ones; durability expectation shrinks.
                         failures.append((backend.name, exc))
                         image.metrics.backends_expected -= 1
-                flush_span.set(bytes=image.metrics.bytes_flushed)
+                flush_span.set(
+                    bytes=image.metrics.bytes_flushed,
+                    doorbells=sum(
+                        info.doorbells for info in image.flush_info.values()
+                    ),
+                    submit_stall_ns=sum(
+                        info.submit_stall_ns for info in image.flush_info.values()
+                    ),
+                )
             if failures and image.metrics.backends_expected == 0:
                 for frozen in freeze_set.pages:
                     self.kernel.phys.release(frozen.page)

@@ -53,9 +53,13 @@ from repro.posix.vnode import VfsNamespace
 from repro.slsfs.fs import SlsFS
 from repro.units import GIB, KIB, PAGE_SIZE
 
-#: the sites the sweep power-cuts, hit by hit
+#: the sites the sweep power-cuts, hit by hit (the two batch sites cut
+#: power at batch boundaries: a whole coalesced batch buffered or
+#: submitted but not yet named by a superblock)
 SWEEP_SITES = (
     fault_names.FP_DEVICE_WRITE,
+    fault_names.FP_DEVICE_BATCH,
+    fault_names.FP_STORE_BATCH_FLUSH,
     fault_names.FP_STORE_COMMIT,
     fault_names.FP_LOG_APPEND,
     fault_names.FP_GC_COLLECT,

@@ -20,11 +20,13 @@ from __future__ import annotations
 
 FP_DEVICE_READ = "device.read"
 FP_DEVICE_WRITE = "device.write"
+FP_DEVICE_BATCH = "device.write_batch"
 FP_DEVICE_FLUSH = "device.flush_barrier"
 
 # --- object store (repro.objstore) -------------------------------------------
 
 FP_STORE_WRITE_RECORD = "objstore.write_record"
+FP_STORE_BATCH_FLUSH = "objstore.batch.flush"
 FP_STORE_COMMIT = "objstore.commit_snapshot"
 FP_STORE_ALLOC = "objstore.alloc"
 FP_LOG_APPEND = "objstore.log.append"

@@ -22,7 +22,7 @@ exercise torn-checkpoint handling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.errors import DeviceFullError, DeviceIOError, PowerCut
 from repro.fault import names as fault_names
@@ -46,6 +46,12 @@ class IoStats:
     bytes_written: int = 0
     #: ns the device spent transferring data (utilization numerator).
     busy_ns: int = 0
+    #: submission doorbells rung (a batch rings one for N commands)
+    doorbells: int = 0
+    #: writes submitted through :meth:`StorageDevice.write_batch`
+    batched_writes: int = 0
+    #: ns the submitter stalled waiting for a free queue slot
+    submit_stall_ns: int = 0
 
 
 @dataclass
@@ -53,6 +59,15 @@ class _PendingWrite:
     offset: int
     data: bytes
     durable_at: int
+
+
+@dataclass(frozen=True)
+class BatchWrite:
+    """One command of a batched submission (see ``write_batch``)."""
+
+    offset: int
+    data: bytes
+    logical_nbytes: Optional[int] = None
 
 
 @dataclass
@@ -82,6 +97,8 @@ class StorageDevice:
         self._blocks: dict[int, bytearray] = {}
         self._pending: list[_PendingWrite] = []
         self._busy_until = 0
+        #: completion times of commands in flight (queue-depth model)
+        self._inflight: list[int] = []
         self._used = 0
         self._failed = False
         #: error injection: fail the next N operations
@@ -126,14 +143,52 @@ class StorageDevice:
 
     # -- cost model ------------------------------------------------------
 
+    def _ring_doorbell(self) -> None:
+        """Charge the host-side submission cost for one doorbell.
+
+        The submitting thread pays it synchronously (the clock moves),
+        which is exactly what batching amortizes: one doorbell may
+        carry many commands.
+        """
+        self.stats.doorbells += 1
+        if self.spec.submit_cost_ns:
+            self.clock.advance(self.spec.submit_cost_ns)
+
+    def _wait_for_queue_slot(self) -> None:
+        """Stall the submitter until the queue has a free slot.
+
+        With ``spec.queue_depth == 0`` the queue is unbounded and this
+        is free.  Otherwise commands inside the limit overlap their
+        media latencies and a full queue throttles the submitter to
+        the device's completion rate.
+        """
+        qd = self.spec.queue_depth
+        if qd <= 0:
+            return
+        now = self.clock.now
+        inflight = sorted(c for c in self._inflight if c > now)
+        if len(inflight) >= qd:
+            free_at = inflight[len(inflight) - qd]
+            self.stats.submit_stall_ns += free_at - now
+            self.clock.advance_to(free_at)
+        self._inflight = [c for c in self._inflight if c > self.clock.now]
+
     def _occupy(self, nbytes: int, latency_ns: int, bandwidth: float) -> IoTicket:
-        """Reserve device time for one operation and return its ticket."""
+        """Reserve device time for one command and return its ticket.
+
+        The channel serializes transfer time plus the per-command
+        processing overhead; the fixed access latency overlaps across
+        in-flight commands (bounded by the queue depth, enforced by
+        :meth:`_wait_for_queue_slot` before this runs).
+        """
         issued = self.clock.now
         start = max(issued, self._busy_until)
-        xfer = transfer_ns(nbytes, bandwidth)
+        xfer = transfer_ns(nbytes, bandwidth) + self.spec.command_overhead_ns
         completes = start + latency_ns + xfer
         self._busy_until = start + xfer
         self.stats.busy_ns += xfer
+        if self.spec.queue_depth > 0:
+            self._inflight.append(completes)
         return IoTicket(issued_at=issued, completes_at=completes)
 
     def _check_fault(self) -> None:
@@ -191,6 +246,8 @@ class StorageDevice:
             )
         if nbytes < 0 or offset < 0:
             raise DeviceIOError("negative read extent")
+        self._ring_doorbell()
+        self._wait_for_queue_slot()
         ticket = self._occupy(
             max(nbytes, logical_nbytes or 0),
             self.spec.read_latency_ns,
@@ -208,7 +265,9 @@ class StorageDevice:
         return ticket
 
     def write_async(self, offset: int, data: bytes, logical_nbytes: int | None = None) -> IoTicket:
-        """Queue a write; returns its ticket without advancing the clock.
+        """Queue a write; returns its ticket without advancing the clock
+        (except for the submission model's doorbell cost and queue-slot
+        stalls, when the spec arms them).
 
         The data is visible to subsequent reads immediately (device
         buffer) but is only *durable* — i.e. survives :meth:`crash` —
@@ -220,6 +279,44 @@ class StorageDevice:
         acknowledges the write without touching the media at all.
         """
         self._check_fault()
+        self._ring_doorbell()
+        return self._submit_write(offset, data, logical_nbytes)
+
+    def write_batch(self, writes: Sequence[BatchWrite]) -> list[IoTicket]:
+        """Submit several writes with one doorbell.
+
+        The host-side submission cost is charged once for the whole
+        batch; each element is still one device command — it fires the
+        per-write failpoint, gets its own ticket, and occupies the
+        channel for its transfer — so up to ``spec.queue_depth``
+        commands overlap their latencies.  Commands complete in
+        submission order (constant write latency), preserving the FIFO
+        durability the object store's crash invariant relies on.
+
+        Failpoint ``device.write_batch`` fires once per doorbell,
+        before any member command touches the media: a ``crash`` there
+        is a power cut on the batch boundary.
+        """
+        self._check_fault()
+        action = self._fire(fault_names.FP_DEVICE_BATCH, commands=len(writes))
+        if action is not None and action.kind == "fail":
+            raise DeviceIOError(
+                f"{self.name}: {action.reason or 'injected batch-write failure'}"
+            )
+        if not writes:
+            return []
+        self._ring_doorbell()
+        tickets = []
+        for write in writes:
+            tickets.append(
+                self._submit_write(write.offset, write.data, write.logical_nbytes)
+            )
+            self.stats.batched_writes += 1
+        return tickets
+
+    def _submit_write(self, offset: int, data: bytes,
+                      logical_nbytes: int | None = None) -> IoTicket:
+        """One write command: fault check, queue slot, occupy, buffer."""
         action = self._fire(fault_names.FP_DEVICE_WRITE, nbytes=len(data))
         if action is not None and action.kind == "fail":
             raise DeviceIOError(
@@ -232,6 +329,7 @@ class StorageDevice:
             raise DeviceFullError(
                 f"{self.name}: write [{offset}, {end}) exceeds capacity {self.spec.capacity}"
             )
+        self._wait_for_queue_slot()
         ticket = self._occupy(
             max(len(data), logical_nbytes or 0),
             self.spec.write_latency_ns,
@@ -301,6 +399,7 @@ class StorageDevice:
         """
         self._retire_pending()
         lost = len(self._pending)
+        self._inflight.clear()
         if not self.spec.persistent:
             self._blocks.clear()
             self._used = 0

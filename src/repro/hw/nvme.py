@@ -3,17 +3,26 @@
 from __future__ import annotations
 
 from repro.hw.device import StorageDevice
-from repro.hw.specs import OPTANE_900P, DeviceSpec
+from repro.hw.specs import OPTANE_900P, DeviceSpec, with_queue_model
 from repro.sim.clock import SimClock
 
 
 class NvmeDevice(StorageDevice):
-    """An NVMe SSD; defaults to the Optane 900P used in the paper."""
+    """An NVMe SSD; defaults to the Optane 900P used in the paper.
+
+    Pass ``queue_depth`` to arm the queue-depth-aware submission model
+    (per-doorbell submission cost, per-command processing overhead,
+    bounded in-flight overlap) on top of ``spec``; the default leaves
+    the legacy flat-latency model in place.
+    """
 
     def __init__(
         self,
         clock: SimClock,
         spec: DeviceSpec = OPTANE_900P,
         name: str | None = None,
+        queue_depth: int | None = None,
     ):
+        if queue_depth is not None:
+            spec = with_queue_model(spec, queue_depth)
         super().__init__(spec=spec, clock=clock, name=name or "nvme0")

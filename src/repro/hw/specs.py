@@ -19,7 +19,7 @@ The paper's Table 3/4 numbers were taken on the Optane configuration;
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.units import GIB, MIB, MSEC, NSEC, USEC
 
@@ -41,6 +41,49 @@ class DeviceSpec:
     byte_addressable: bool = False
     #: Whether contents survive a simulated power failure.
     persistent: bool = True
+    #: Host CPU cost of one submission doorbell (command build + ring).
+    #: Charged to the submitting thread once per doorbell, so a batch
+    #: of N commands pays it once instead of N times.  0 disables the
+    #: submission model (legacy flat-latency behaviour).
+    submit_cost_ns: int = 0
+    #: Device-side per-command processing (fetch, PRP walk, FTL
+    #: lookup) serialized on the channel on top of the transfer time.
+    command_overhead_ns: int = 0
+    #: Per-queue in-flight command limit.  Submissions past the limit
+    #: stall the submitter until a completion frees a slot; commands
+    #: inside the limit overlap their media latencies.  0 = unbounded
+    #: (legacy behaviour: every latency overlaps).
+    queue_depth: int = 0
+
+
+#: Calibration for the NVMe submission model: ~1 µs of host CPU per
+#: doorbell (command build, SQ tail update, completion handling) and
+#: ~3 µs of device-side per-command processing.  These are deliberately
+#: pessimistic for tiny records — exactly the regime the batched
+#: checkpoint flush path exists to avoid.
+NVME_SUBMIT_NS = 1 * USEC
+NVME_COMMAND_OVERHEAD_NS = 3 * USEC
+
+
+def with_queue_model(
+    spec: "DeviceSpec",
+    queue_depth: int,
+    submit_cost_ns: int = NVME_SUBMIT_NS,
+    command_overhead_ns: int = NVME_COMMAND_OVERHEAD_NS,
+) -> "DeviceSpec":
+    """A copy of ``spec`` with the queue-depth submission model armed.
+
+    The benchmark harness uses this to sweep queue depths; sessions
+    that want the richer model opt in per device.
+    """
+    if queue_depth < 0:
+        raise ValueError("queue depth cannot be negative")
+    return replace(
+        spec,
+        queue_depth=queue_depth,
+        submit_cost_ns=submit_cost_ns,
+        command_overhead_ns=command_overhead_ns,
+    )
 
 
 OPTANE_900P = DeviceSpec(

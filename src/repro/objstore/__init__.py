@@ -20,11 +20,13 @@ from repro.objstore.record import (
 )
 from repro.objstore.snapshot import Snapshot, SnapshotDirectory
 from repro.objstore.store import (
+    MAX_BATCH_EXTENT,
     MetaRef,
     ObjectStore,
     PageRef,
     RecoveryReport,
     StoreStats,
+    WriteBatch,
 )
 
 __all__ = [
@@ -52,9 +54,11 @@ __all__ = [
     "unpack_record",
     "Snapshot",
     "SnapshotDirectory",
+    "MAX_BATCH_EXTENT",
     "MetaRef",
     "ObjectStore",
     "PageRef",
     "RecoveryReport",
     "StoreStats",
+    "WriteBatch",
 ]

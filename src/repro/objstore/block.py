@@ -9,10 +9,10 @@ verifies — a torn final checkpoint is thereby discarded as a unit.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.errors import ChecksumError, ObjectStoreError
-from repro.hw.device import IoTicket, StorageDevice
+from repro.hw.device import BatchWrite, IoTicket, StorageDevice
 from repro.objstore.record import (
     HEADER_SIZE,
     KIND_SUPER,
@@ -84,6 +84,13 @@ class Volume:
         if sync:
             return self.device.write(offset, data, logical_nbytes=logical)
         return self.device.write_async(offset, data, logical_nbytes=logical)
+
+    def write_data_batch(self, writes: Sequence[BatchWrite]) -> list[IoTicket]:
+        """Submit coalesced data extents with one doorbell."""
+        for write in writes:
+            if write.offset < DATA_BASE:
+                raise ObjectStoreError("data write into superblock area")
+        return self.device.write_batch(writes)
 
     def read_data(self, offset: int, nbytes: int, logical: int | None = None) -> bytes:
         if offset < DATA_BASE:

@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ChecksumError, NoSuchObject, ObjectStoreError, PowerCut
 from repro.fault import names as fault_names
-from repro.hw.device import StorageDevice
+from repro.hw.device import BatchWrite, IoTicket, StorageDevice
 from repro.mem.address_space import MemContext
 from repro.obs import names as obs_names
 from repro.objstore.alloc import Extent, ExtentAllocator
@@ -48,6 +48,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: reads of nearby extents are coalesced into one device op when the
 #: gap between them is below this (restore-path sequential-read model)
 READ_COALESCE_GAP = 64 * 1024
+
+#: a coalesced write run is capped at this many bytes so one extent
+#: never monopolizes the device channel (matches common MDTS limits)
+MAX_BATCH_EXTENT = 256 * 1024
 
 
 @dataclass(frozen=True)
@@ -76,6 +80,9 @@ class StoreStats:
     logical_page_bytes: int = 0
     snapshots_committed: int = 0
     snapshots_deleted: int = 0
+    batches_flushed: int = 0
+    batch_records: int = 0
+    batch_extents: int = 0
 
 
 @dataclass
@@ -102,6 +109,11 @@ class ObjectStore:
         self.obs: Optional["KernelObs"] = None
         self._c_pages = self._c_dedup = self._c_meta = None
         self._c_bytes = self._c_snaps = self._c_snaps_del = None
+        self._c_batches = self._c_batch_records = None
+        #: write batch registered by ``begin_batch``; ``commit_snapshot``
+        #: flushes its leftovers before naming a snapshot so the
+        #: superblock stays strictly after its records in queue order
+        self._open_batch: Optional["WriteBatch"] = None
         #: metadata/manifest record refcounts keyed by extent offset
         self._meta_refs: dict[int, tuple[Extent, int]] = {}
         #: extents freed by refcount-zero, awaiting in-place GC
@@ -125,6 +137,10 @@ class ObjectStore:
         self._c_snaps = reg.counter(obs_names.C_STORE_SNAPSHOTS, store=store)
         self._c_snaps_del = reg.counter(
             obs_names.C_STORE_SNAPSHOTS_DELETED, store=store
+        )
+        self._c_batches = reg.counter(obs_names.C_STORE_BATCHES, store=store)
+        self._c_batch_records = reg.counter(
+            obs_names.C_STORE_BATCH_RECORDS, store=store
         )
 
     def attach_faults(self, registry: "FailpointRegistry") -> None:
@@ -159,7 +175,8 @@ class ObjectStore:
         return self.device.clock.now
 
     def _write_record(self, kind: int, oid: int, epoch: int, payload: bytes,
-                      sync: bool, logical: Optional[int] = None) -> Extent:
+                      sync: bool, logical: Optional[int] = None,
+                      batch: Optional["WriteBatch"] = None) -> Extent:
         if self.faults is not None:
             action = self.faults.fire(
                 fault_names.FP_STORE_WRITE_RECORD,
@@ -177,8 +194,13 @@ class ObjectStore:
                     )
         record = pack_record(kind=kind, oid=oid, epoch=epoch, payload=payload)
         extent = self.allocator.allocate(len(record))
-        self.volume.write_data(extent.offset, record, sync=sync, logical=logical)
         size = max(len(record), logical or 0)
+        if batch is not None:
+            if sync:
+                raise ObjectStoreError("cannot add a sync write to a batch")
+            batch._append(extent, record, size)
+        else:
+            self.volume.write_data(extent.offset, record, sync=sync, logical=logical)
         self.stats.bytes_written += size
         self._bytes_since_commit += size
         if self.obs is not None:
@@ -196,10 +218,11 @@ class ObjectStore:
 
     # -- metadata records -----------------------------------------------------------
 
-    def write_meta(self, oid: int, value, epoch: int = 0, sync: bool = False) -> MetaRef:
+    def write_meta(self, oid: int, value, epoch: int = 0, sync: bool = False,
+                   batch: Optional["WriteBatch"] = None) -> MetaRef:
         """Serialize ``value`` as the metadata record for kernel object ``oid``."""
         payload = encode(value)
-        extent = self._write_record(KIND_META, oid, epoch, payload, sync)
+        extent = self._write_record(KIND_META, oid, epoch, payload, sync, batch=batch)
         self.stats.meta_records_written += 1
         if self.obs is not None:
             self._c_meta.inc()
@@ -218,7 +241,8 @@ class ObjectStore:
         return hashlib.sha1(payload.rstrip(b"\x00")).digest()
 
     def write_page(self, payload: bytes, epoch: int = 0, sync: bool = False,
-                   content_hash: Optional[bytes] = None) -> PageRef:
+                   content_hash: Optional[bytes] = None,
+                   batch: Optional["WriteBatch"] = None) -> PageRef:
         """Store page content, deduplicating by hash."""
         if content_hash is None:
             self._charge(self.mem.cpu.page_hash_ns if self.mem else 0)
@@ -236,7 +260,7 @@ class ObjectStore:
             )
         extent = self._write_record(
             KIND_PAGE, 0, epoch, payload, sync,
-            logical=HEADER_SIZE + PAGE_SIZE,
+            logical=HEADER_SIZE + PAGE_SIZE, batch=batch,
         )
         self.dedup.insert(content_hash, extent)
         self.stats.pages_written += 1
@@ -293,6 +317,21 @@ class ObjectStore:
         finish_run()
         return out
 
+    # -- batched writes ----------------------------------------------------------------
+
+    def begin_batch(self, epoch: int = 0,
+                    max_extent_bytes: int = MAX_BATCH_EXTENT) -> "WriteBatch":
+        """Open a coalescing :class:`WriteBatch` for one checkpoint epoch.
+
+        The batch is registered as the store's open batch:
+        :meth:`commit_snapshot` flushes any leftover records before it
+        writes the manifest and superblock, so batching can never
+        reorder a snapshot's name ahead of its data.
+        """
+        batch = WriteBatch(self, epoch=epoch, max_extent_bytes=max_extent_bytes)
+        self._open_batch = batch
+        return batch
+
     # -- snapshots -----------------------------------------------------------------------
 
     def commit_snapshot(
@@ -311,6 +350,8 @@ class ObjectStore:
         snapshots sharing data with a parent simply list the shared
         refs again.  The superblock write is ordered after the data.
         """
+        if self._open_batch is not None and len(self._open_batch):
+            self._open_batch.flush()
         manifest_value = {
             "meta": meta,
             "records": [[r.oid, r.extent.offset, r.extent.length] for r in records],
@@ -442,6 +483,7 @@ class ObjectStore:
         self._meta_refs = {}
         self.garbage = []
         self._logs = {}
+        self._open_batch = None
         super_read = self.volume.read_superblock()
         if super_read is None:
             self.directory = SnapshotDirectory()
@@ -493,3 +535,154 @@ class ObjectStore:
             self.allocator.reserve(extent)
         except ValueError:
             pass  # shared with an already-recovered snapshot
+
+
+class WriteBatch:
+    """Coalescing write buffer for one checkpoint epoch's records.
+
+    Records added through the batch allocate extents and take dedup
+    hits exactly as unbatched writes do, but their bytes are buffered
+    in memory; :meth:`flush` sorts the buffered extents, merges
+    contiguous runs into multi-page extents (capped at
+    ``max_extent_bytes``), and submits the whole set through one
+    device doorbell (:meth:`~repro.hw.device.StorageDevice.write_batch`).
+
+    Because the allocator hands out extents first-fit, a checkpoint's
+    freshly written records are almost always adjacent — a batch of N
+    page records typically flushes as a handful of large extents
+    instead of N tiny commands.
+
+    Crash safety: flushing stays strictly before the snapshot's
+    manifest/superblock in device queue order (``commit_snapshot``
+    auto-flushes the store's open batch), so the existing recovery
+    invariant — a crash can only tear the not-yet-named snapshot — is
+    unchanged.  Failpoint ``objstore.batch.flush`` fires at the batch
+    boundary before any bytes are submitted.
+    """
+
+    def __init__(self, store: ObjectStore, epoch: int = 0,
+                 max_extent_bytes: int = MAX_BATCH_EXTENT):
+        self.store = store
+        self.epoch = epoch
+        self.max_extent_bytes = max_extent_bytes
+        self._items: list[tuple[Extent, bytes, int]] = []
+        #: cumulative accounting across flushes (read by the
+        #: checkpoint pipeline's FlushInfo)
+        self.flushes = 0
+        self.records_flushed = 0
+        self.extents_flushed = 0
+        self.bytes_flushed = 0
+        self.last_tickets: list[IoTicket] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def pending_records(self) -> int:
+        return len(self._items)
+
+    @property
+    def pending_bytes(self) -> int:
+        return sum(logical for _, _, logical in self._items)
+
+    # -- adding records ---------------------------------------------------------
+
+    def add_page(self, payload: bytes,
+                 content_hash: Optional[bytes] = None) -> PageRef:
+        """Buffer one page record (deduplicated exactly like
+        :meth:`ObjectStore.write_page`)."""
+        return self.store.write_page(
+            payload, epoch=self.epoch, content_hash=content_hash, batch=self
+        )
+
+    def add_meta(self, oid: int, value) -> MetaRef:
+        """Buffer one metadata record for kernel object ``oid``."""
+        return self.store.write_meta(oid, value, epoch=self.epoch, batch=self)
+
+    def _append(self, extent: Extent, record: bytes, logical: int) -> None:
+        self._items.append((extent, record, logical))
+
+    # -- flushing ---------------------------------------------------------------
+
+    def flush(self) -> list[IoTicket]:
+        """Coalesce and submit everything buffered; returns tickets.
+
+        The clock only advances by the submission model's costs (one
+        doorbell plus any queue-slot stalls); durability is reached at
+        the returned tickets' ``completes_at`` deadlines, observed by
+        the ``objstore.batch.flush`` span closing out-of-order there.
+        """
+        store = self.store
+        if not self._items:
+            return []
+        if store.faults is not None:
+            action = store.faults.fire(
+                fault_names.FP_STORE_BATCH_FLUSH,
+                store=store.device.name, records=len(self._items),
+            )
+            if action is not None:
+                if action.kind == "crash":
+                    raise PowerCut(
+                        action.reason or "power cut at batch flush",
+                        at_ns=store._now(),
+                    )
+                if action.kind == "fail":
+                    raise ObjectStoreError(
+                        action.reason or "injected batch-flush failure"
+                    )
+        items = sorted(self._items, key=lambda item: item[0].offset)
+        self._items = []
+        writes: list[BatchWrite] = []
+        run: list[tuple[Extent, bytes, int]] = [items[0]]
+        # The cap bounds the *on-media* (logical) size of one coalesced
+        # command, matching how MDTS limits a real transfer.
+        run_bytes = items[0][2]
+
+        def close_run() -> None:
+            data = b"".join(record for _, record, _ in run)
+            logical = sum(lg for _, _, lg in run)
+            writes.append(
+                BatchWrite(
+                    offset=run[0][0].offset, data=data, logical_nbytes=logical
+                )
+            )
+
+        for item in items[1:]:
+            extent, _record, logical = item
+            if (extent.offset == run[-1][0].end
+                    and run_bytes + logical <= self.max_extent_bytes):
+                run.append(item)
+                run_bytes += logical
+            else:
+                close_run()
+                run = [item]
+                run_bytes = logical
+        close_run()
+
+        span = None
+        if store.obs is not None:
+            span = store.obs.tracer.span(
+                obs_names.SPAN_STORE_BATCH,
+                store=store.device.name,
+                records=len(items), extents=len(writes),
+            )
+            span.event(
+                obs_names.EV_BATCH_SUBMIT,
+                records=len(items), extents=len(writes),
+            )
+        tickets = store.volume.write_data_batch(writes)
+        total_logical = sum(lg for _, _, lg in items)
+        self.flushes += 1
+        self.records_flushed += len(items)
+        self.extents_flushed += len(writes)
+        self.bytes_flushed += total_logical
+        self.last_tickets = tickets
+        store.stats.batches_flushed += 1
+        store.stats.batch_records += len(items)
+        store.stats.batch_extents += len(writes)
+        if store.obs is not None:
+            store._c_batches.inc()
+            store._c_batch_records.inc(len(items))
+            span.set(bytes=total_logical)
+            span.close(at_ns=max(t.completes_at for t in tickets))
+        return tickets

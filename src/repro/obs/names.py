@@ -36,6 +36,9 @@ SPAN_RESTORE_MEMORY = "restore.memory"
 
 # --- spans (object store / filesystem) ---------------------------------------
 
+#: covers one batch from doorbell submit to the completion of its last
+#: coalesced extent (closed out-of-order at the completion deadline)
+SPAN_STORE_BATCH = "objstore.batch.flush"
 SPAN_GC = "objstore.gc"
 SPAN_FS_SNAPSHOT = "slsfs.container_snapshot"
 SPAN_FS_CLONE = "slsfs.clone"
@@ -49,6 +52,7 @@ EV_COW_FREEZE = "cow.freeze"
 EV_COW_FAULT = "cow.fault"
 EV_CAPTURE_STORE = "checkpoint.capture.store"
 EV_CAPTURE_SWAP = "checkpoint.capture.swap"
+EV_BATCH_SUBMIT = "objstore.batch.submit"
 EV_GC_RECLAIM = "objstore.gc.reclaim"
 
 # --- counters ----------------------------------------------------------------
@@ -69,6 +73,9 @@ C_STORE_META_RECORDS = "objstore.meta_records_total"
 C_STORE_BYTES_WRITTEN = "objstore.bytes_written_total"
 C_STORE_SNAPSHOTS = "objstore.snapshots_committed_total"
 C_STORE_SNAPSHOTS_DELETED = "objstore.snapshots_deleted_total"
+C_STORE_BATCHES = "objstore.batches_total"
+C_STORE_BATCH_RECORDS = "objstore.batch_records_total"
+C_CKPT_PIPELINED = "sls.checkpoints_pipelined_total"
 C_GC_EXTENTS_FREED = "objstore.gc.extents_freed_total"
 C_GC_BYTES_FREED = "objstore.gc.bytes_freed_total"
 C_FS_SNAPSHOTS = "slsfs.container_snapshots_total"
@@ -82,6 +89,7 @@ G_SHADOW_DEPTH = "cow.shadow_chain_depth_max"
 
 H_STOP_TIME = "sls.stop_time_ns"
 H_FLUSH_LAG = "backend.flush_lag_ns"
+H_FLUSH_OVERLAP = "sls.flush_overlap_ns"
 H_RESTORE_TOTAL = "sls.restore_total_ns"
 
 

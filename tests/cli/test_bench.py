@@ -1,0 +1,138 @@
+"""``sls bench``: determinism, the speedup floor, and the compare gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli.bench import compare, run_suite, to_json
+from repro.cli.main import main
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_suite()
+
+
+class TestDeterminism:
+    def test_two_runs_are_byte_identical(self, results):
+        # The whole point of the virtual clock: CI can diff the output.
+        assert to_json(run_suite()) == to_json(results)
+
+    def test_rendering_is_canonical(self, results):
+        rendered = to_json(results)
+        assert rendered.endswith("\n")
+        assert json.loads(rendered) == results
+        assert rendered == json.dumps(results, sort_keys=True, indent=2) + "\n"
+
+    def test_all_leaves_are_integers(self, results):
+        def walk(node):
+            for value in node.values():
+                if isinstance(value, dict):
+                    walk(value)
+                elif isinstance(value, list):
+                    assert all(isinstance(v, int) for v in value)
+                else:
+                    assert isinstance(value, int), value
+
+        walk(results)
+
+
+class TestAcceptance:
+    def test_batching_speedup_at_depth(self, results):
+        # The tentpole's acceptance floor: >= 2x at queue depth >= 8.
+        assert results["derived"]["speedup_qd8_x1000"] >= 2000
+        assert results["derived"]["speedup_qd16_x1000"] >= 2000
+
+    def test_batching_amortizes_doorbells(self, results):
+        flush = results["checkpoint_flush"]
+        assert flush["batched_qd8"]["doorbells"] < (
+            flush["unbatched_qd8"]["doorbells"] // 10
+        )
+        assert flush["batched_qd8"]["extents"] < (
+            flush["unbatched_qd8"]["extents"] // 10
+        )
+
+    def test_stop_time_unaffected_by_flush_path(self, results):
+        flush = results["checkpoint_flush"]
+        assert flush["batched_qd8"]["stop_ns"] == flush["unbatched_qd8"]["stop_ns"]
+
+    def test_pipeline_cell_overlaps(self, results):
+        assert results["pipeline"]["overlapped"] == 1
+        assert results["pipeline"]["pipelined_checkpoints"] >= 1
+
+    def test_matches_committed_baseline(self, results):
+        with open("benchmarks/results/baseline.json") as handle:
+            baseline = json.load(handle)
+        assert compare(results, baseline) == []
+
+
+class TestCompareGate:
+    def test_identical_runs_pass(self, results):
+        assert compare(results, copy.deepcopy(results)) == []
+
+    def test_timing_regression_caught(self, results):
+        current = copy.deepcopy(results)
+        cell = current["checkpoint_flush"]["batched_qd8"]
+        cell["flush_lag_ns"] = int(cell["flush_lag_ns"] * 1.5)
+        regressions = compare(current, results)
+        assert len(regressions) == 1
+        assert "batched_qd8.flush_lag_ns" in regressions[0]
+
+    def test_timing_within_tolerance_passes(self, results):
+        current = copy.deepcopy(results)
+        cell = current["checkpoint_flush"]["batched_qd8"]
+        cell["flush_lag_ns"] = int(cell["flush_lag_ns"] * 1.04)
+        assert compare(current, results, tolerance=0.05) == []
+
+    def test_speedup_drop_caught(self, results):
+        current = copy.deepcopy(results)
+        current["derived"]["speedup_qd8_x1000"] //= 2
+        regressions = compare(current, results)
+        assert len(regressions) == 1
+        assert "speedup_qd8_x1000" in regressions[0]
+
+    def test_speedup_gain_passes(self, results):
+        current = copy.deepcopy(results)
+        current["derived"]["speedup_qd8_x1000"] *= 2
+        assert compare(current, results) == []
+
+    def test_missing_scenario_is_a_regression(self, results):
+        current = copy.deepcopy(results)
+        del current["checkpoint_flush"]["unbatched_qd1"]
+        regressions = compare(current, results)
+        assert any("missing from current run" in r for r in regressions)
+
+    def test_new_scenario_in_current_ignored(self, results):
+        current = copy.deepcopy(results)
+        current["checkpoint_flush"]["batched_qd32"] = {"flush_lag_ns": 1}
+        assert compare(current, results) == []
+
+    def test_meta_mismatch_caught(self, results):
+        current = copy.deepcopy(results)
+        current["meta"]["suite_version"] = results["meta"]["suite_version"] + 1
+        regressions = compare(current, results)
+        assert any("suite_version" in r for r in regressions)
+
+
+class TestCliEntry:
+    def test_bench_json_and_compare_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--json", str(out)]) == 0
+        first = out.read_text()
+        assert json.loads(first)["meta"]["pages"] > 0
+        # Comparing a run against its own output is clean.
+        assert main(["bench", "--json", str(out), "--compare", str(out)]) == 0
+        assert out.read_text() == first
+        captured = capsys.readouterr()
+        assert "no regressions" in captured.out
+
+    def test_bench_compare_fails_on_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", "--json", str(baseline)]) == 0
+        doctored = json.loads(baseline.read_text())
+        doctored["checkpoint_flush"]["batched_qd8"]["flush_lag_ns"] = 1
+        baseline.write_text(json.dumps(doctored))
+        assert main(["bench", "--compare", str(baseline)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSIONS" in captured.err

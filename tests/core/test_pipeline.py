@@ -1,0 +1,131 @@
+"""Checkpoint pipelining: COW capture of N overlaps the flush of N-1."""
+
+import pytest
+
+from repro.core.backends import StoreBackend, make_disk_backend
+from repro.core.orchestrator import SLS
+from repro.hw.nvme import NvmeDevice
+from repro.obs import names as obs_names
+from repro.objstore.store import ObjectStore
+from repro.posix.kernel import Kernel
+from repro.posix.syscalls import Syscalls
+from repro.units import GIB, MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(memory_bytes=8 * GIB)
+
+
+@pytest.fixture
+def sls(kernel):
+    return SLS(kernel)
+
+
+def make_world(kernel, sls, batched=True, queue_depth=8):
+    proc = kernel.spawn("app")
+    sysc = Syscalls(kernel, proc)
+    heap = sysc.mmap(2 * MIB, name="heap")
+    sysc.populate(heap.start, 2 * MIB, fill_fn=lambda i: b"pipe%d" % i)
+    group = sls.persist(proc, name="app")
+    device = NvmeDevice(kernel.clock, queue_depth=queue_depth)
+    backend = StoreBackend("disk0", ObjectStore(device, mem=kernel.mem),
+                           batched=batched)
+    backend.bind(kernel)
+    group.attach(backend)
+    return proc, sysc, heap, group, backend
+
+
+class TestPipelining:
+    def test_back_to_back_checkpoints_overlap(self, kernel, sls):
+        proc, sysc, heap, group, backend = make_world(kernel, sls)
+        sls.checkpoint(group, name="first")
+        first = group.latest_image
+        # The flush is asynchronous: the image is still in flight.
+        assert not first.durable
+        sysc.poke(heap.start, b"changed")
+        sls.checkpoint(group, name="second")
+        sls.barrier(group)
+        counter = kernel.obs.registry.counter(
+            obs_names.C_CKPT_PIPELINED, group="app"
+        )
+        assert counter.value == 1
+
+    def test_overlap_histogram_records_flush_tail(self, kernel, sls):
+        proc, sysc, heap, group, backend = make_world(kernel, sls)
+        sls.checkpoint(group, name="first")
+        sysc.poke(heap.start, b"changed")
+        sls.checkpoint(group, name="second")
+        sls.barrier(group)
+        hist = kernel.obs.registry.histogram(
+            obs_names.H_FLUSH_OVERLAP, group="app"
+        )
+        assert hist.count == 1
+        assert hist.total > 0
+
+    def test_barrier_between_checkpoints_prevents_overlap(self, kernel, sls):
+        proc, sysc, heap, group, backend = make_world(kernel, sls)
+        sls.checkpoint(group, name="first")
+        sls.barrier(group)
+        assert group.latest_image.durable
+        sysc.poke(heap.start, b"changed")
+        sls.checkpoint(group, name="second")
+        sls.barrier(group)
+        counter = kernel.obs.registry.counter(
+            obs_names.C_CKPT_PIPELINED, group="app"
+        )
+        assert counter.value == 0
+
+    def test_pipelined_span_attribute(self, kernel, sls):
+        kernel.obs.tracer.enable()
+        proc, sysc, heap, group, backend = make_world(kernel, sls)
+        sls.checkpoint(group, name="first")
+        sysc.poke(heap.start, b"changed")
+        sls.checkpoint(group, name="second")
+        sls.barrier(group)
+        spans = [
+            span
+            for root in kernel.obs.tracer.roots()
+            for span in root.walk()
+            if span.name == obs_names.SPAN_CHECKPOINT
+        ]
+        assert [s.attrs["pipelined"] for s in spans] == [False, True]
+
+
+class TestFlushInfo:
+    def test_batched_persist_amortizes_doorbells(self, kernel, sls):
+        proc, sysc, heap, group, backend = make_world(kernel, sls, batched=True)
+        image = sls.checkpoint(group, name="full")
+        sls.barrier(group)
+        info = image.flush_info["disk0"]
+        pages = 2 * MIB // PAGE_SIZE
+        assert info.records > pages  # pages + serialized kernel objects
+        assert info.extents < info.records
+        assert info.doorbells < info.records
+        assert info.nbytes > 0
+        assert info.submitted_at_ns >= 0
+
+    def test_unbatched_persist_pays_per_record(self, kernel, sls):
+        proc, sysc, heap, group, backend = make_world(
+            kernel, sls, batched=False
+        )
+        image = sls.checkpoint(group, name="full")
+        sls.barrier(group)
+        info = image.flush_info["disk0"]
+        # One command per record plus the superblock: no amortization.
+        assert info.doorbells >= info.records
+
+    def test_batched_beats_unbatched_on_flush_lag(self):
+        def flush_lag(batched):
+            kernel = Kernel(memory_bytes=8 * GIB)
+            sls = SLS(kernel)
+            _p, _s, _h, group, _b = make_world(kernel, sls, batched=batched)
+            image = sls.checkpoint(group, name="race")
+            sls.barrier(group)
+            return image.metrics.flush_lag_ns
+
+        assert flush_lag(True) < flush_lag(False)
+
+    def test_disk_backend_defaults_to_batched(self, kernel):
+        backend = make_disk_backend(kernel, NvmeDevice(kernel.clock))
+        assert backend.batched

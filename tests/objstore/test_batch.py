@@ -1,0 +1,206 @@
+"""The coalescing ``WriteBatch`` layer (batched checkpoint flush)."""
+
+import pytest
+
+from repro.errors import ObjectStoreError, PowerCut
+from repro.fault import names as fault_names
+from repro.fault.registry import FailpointRegistry, FaultAction
+from repro.hw.nvme import NvmeDevice
+from repro.objstore import MAX_BATCH_EXTENT
+from repro.objstore.store import ObjectStore
+from repro.sim.clock import SimClock
+from repro.units import PAGE_SIZE
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def nvme(clock):
+    return NvmeDevice(clock, queue_depth=8)
+
+
+@pytest.fixture
+def store(nvme):
+    return ObjectStore(nvme)
+
+
+class TestCoalescing:
+    def test_contiguous_records_merge_into_one_command(self, store, nvme):
+        batch = store.begin_batch()
+        refs = [batch.add_page(b"pg-%04d" % i) for i in range(32)]
+        writes_before = nvme.stats.writes
+        batch.flush()
+        # First-fit allocation lays the records end-to-end, so the
+        # whole batch coalesces into a single multi-page extent.
+        assert nvme.stats.writes - writes_before == 1
+        assert nvme.stats.doorbells == 1
+        assert batch.records_flushed == 32
+        assert batch.extents_flushed == 1
+        for i, ref in enumerate(refs):
+            assert store.read_page(ref) == b"pg-%04d" % i
+
+    def test_logical_cap_splits_runs(self, store):
+        # Probe the on-media record size (page + framing), then cap
+        # each coalesced command at exactly two records.
+        probe = store.begin_batch()
+        probe.add_page(b"probe")
+        per_record = probe.pending_bytes
+        probe.flush()
+        batch = store.begin_batch(max_extent_bytes=2 * per_record)
+        for i in range(8):
+            batch.add_page(b"cap-%04d" % i)
+        batch.flush()
+        assert batch.extents_flushed == 4
+
+    def test_default_cap_bounds_on_media_run_size(self, store, nvme):
+        pages = 2 * MAX_BATCH_EXTENT // PAGE_SIZE
+        batch = store.begin_batch()
+        for i in range(pages):
+            batch.add_page(b"big-%04d" % i)
+        buffered = batch.pending_bytes
+        batch.flush()
+        assert buffered > MAX_BATCH_EXTENT
+        assert batch.extents_flushed >= 2
+        assert batch.bytes_flushed == buffered
+
+    def test_meta_and_pages_mix(self, store):
+        batch = store.begin_batch()
+        meta = batch.add_meta(oid=7, value={"pid": 7})
+        page = batch.add_page(b"payload")
+        batch.flush()
+        assert store.read_meta(meta) == {"pid": 7}
+        assert store.read_page(page) == b"payload"
+
+    def test_empty_flush_is_noop(self, store, nvme):
+        batch = store.begin_batch()
+        assert batch.flush() == []
+        assert nvme.stats.doorbells == 0
+        assert store.stats.batches_flushed == 0
+
+
+class TestDedupInBatch:
+    def test_dedup_hit_skips_buffering(self, store):
+        batch = store.begin_batch()
+        a = batch.add_page(b"identical")
+        b = batch.add_page(b"identical")
+        assert a.extent.offset == b.extent.offset
+        assert batch.pending_records == 1
+        batch.flush()
+        assert store.stats.pages_written == 1
+        assert store.stats.pages_deduped == 1
+
+    def test_dedup_against_prior_unbatched_write(self, store):
+        first = store.write_page(b"seen before")
+        batch = store.begin_batch()
+        again = batch.add_page(b"seen before")
+        assert again.extent.offset == first.extent.offset
+        assert len(batch) == 0
+
+
+class TestCommitOrdering:
+    def test_commit_auto_flushes_open_batch(self, store):
+        batch = store.begin_batch()
+        refs = [batch.add_page(b"auto-%d" % i) for i in range(4)]
+        snap = store.commit_snapshot(
+            "auto", meta=None, records=[], pages=refs
+        )
+        assert len(batch) == 0
+        assert batch.flushes == 1
+        _meta, _records, pages = store.load_manifest(snap)
+        assert [store.read_page(p) for p in pages] == [
+            b"auto-%d" % i for i in range(4)
+        ]
+
+    def test_superblock_ordered_after_batch_data(self, store, nvme):
+        # FIFO durability: everything submitted before the superblock
+        # completes no later than it, so a named snapshot implies all
+        # of its batched records are on media.
+        batch = store.begin_batch()
+        refs = [batch.add_page(b"ord-%d" % i) for i in range(8)]
+        store.commit_snapshot("ordered", meta=None, records=[], pages=refs)
+        data_done = max(t.completes_at for t in batch.last_tickets)
+        assert nvme.pending_deadline() >= data_done
+
+    def test_sync_write_cannot_join_batch(self, store):
+        batch = store.begin_batch()
+        with pytest.raises(ObjectStoreError):
+            store.write_page(b"sync", sync=True, batch=batch)
+
+
+class TestBatchCrash:
+    def arm(self, clock, store, site, action):
+        registry = FailpointRegistry(clock=clock, seed=2)
+        store.attach_faults(registry)
+        store.device.attach_faults(registry)
+        registry.arm(site, action)
+        return registry
+
+    def test_crash_at_batch_boundary_loses_only_unnamed(
+        self, clock, store, nvme
+    ):
+        durable = store.commit_snapshot(
+            "durable", meta=None, records=[],
+            pages=[store.write_page(b"kept")],
+        )
+        nvme.flush_barrier()
+        self.arm(clock, store, fault_names.FP_STORE_BATCH_FLUSH,
+                 FaultAction("crash"))
+        batch = store.begin_batch()
+        for i in range(4):
+            batch.add_page(b"lost-%d" % i)
+        with pytest.raises(PowerCut):
+            store.commit_snapshot("torn", meta=None, records=[], pages=[])
+        nvme.crash()
+        report = store.recover()
+        assert not report.errors
+        names = [s.name for s in store.snapshots()]
+        assert "durable" in names and "torn" not in names
+        _meta, _records, pages = store.load_manifest(
+            store.snapshot_by_name("durable")
+        )
+        assert store.read_page(pages[0]) == b"kept"
+
+    def test_flush_failure_leaves_store_usable(self, clock, store):
+        self.arm(clock, store, fault_names.FP_STORE_BATCH_FLUSH,
+                 FaultAction("fail"))
+        batch = store.begin_batch()
+        batch.add_page(b"doomed")
+        with pytest.raises(ObjectStoreError):
+            batch.flush()
+        # The armed point fired once; the retry goes through.
+        batch.add_page(b"retried")
+        batch.flush()
+        assert store.stats.batches_flushed == 1
+
+    def test_recover_drops_open_batch(self, clock, store, nvme):
+        batch = store.begin_batch()
+        batch.add_page(b"abandoned")
+        nvme.crash()
+        store.recover()
+        assert store._open_batch is None
+
+
+class TestAccounting:
+    def test_store_stats_and_bytes(self, store):
+        batch = store.begin_batch()
+        for i in range(6):
+            batch.add_page(b"acct-%d" % i)
+        buffered = batch.pending_bytes
+        assert buffered >= 6 * PAGE_SIZE  # on-media size incl. framing
+        batch.flush()
+        assert store.stats.batches_flushed == 1
+        assert store.stats.batch_records == 6
+        assert store.stats.batch_extents >= 1
+        assert batch.bytes_flushed == buffered
+
+    def test_batch_reusable_across_flushes(self, store):
+        batch = store.begin_batch()
+        batch.add_page(b"first wave")
+        batch.flush()
+        batch.add_page(b"second wave")
+        batch.flush()
+        assert batch.flushes == 2
+        assert batch.records_flushed == 2
