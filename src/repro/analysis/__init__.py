@@ -1,0 +1,34 @@
+"""``repro.analysis`` — the AST-based invariant checker behind
+``sls lint``.
+
+Static rules for the invariants the runtime can only check when the
+right test happens to exercise them: no wall-clock reads (determinism),
+instrument names from the catalogues (registry drift), batch-flush
+before superblock plus failpoint coverage (crash ordering), a
+keyword-only public API, and honest ``_ns``/``_bytes`` suffixes.
+See ANALYSIS.md for the rule catalogue and the suppression/baseline
+workflow, and ``repro.analysis.rules`` for how to add a rule.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import (
+    AnalyzerConfig,
+    Finding,
+    ProjectTree,
+    Report,
+    Rule,
+    run_rules,
+)
+from repro.analysis.rules import ALL_RULES, make_rules
+
+__all__ = [
+    "ALL_RULES",
+    "AnalyzerConfig",
+    "Baseline",
+    "Finding",
+    "ProjectTree",
+    "Report",
+    "Rule",
+    "make_rules",
+    "run_rules",
+]

@@ -1,0 +1,91 @@
+"""The checked-in suppression baseline for ``sls lint``.
+
+A baseline entry waives one known finding by its *fingerprint* —
+``sha1(rule | path | enclosing symbol | message)`` — which survives
+unrelated edits (line numbers never participate) but dies the moment
+the finding itself changes, so a stale entry surfaces instead of
+masking a new problem.  Every entry carries a human justification;
+``sls lint --update-baseline`` refuses to invent them (new entries get
+a ``TODO`` marker that reviewers are expected to replace).
+
+The file lives at the repo root (``.sls-lint-baseline.json``) and is
+deliberately boring JSON: diffs in review must read as "we are
+knowingly keeping this violation, because ...".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.core import Finding, Report
+
+DEFAULT_BASELINE_NAME = ".sls-lint-baseline.json"
+TODO_JUSTIFICATION = "TODO: justify or fix"
+
+
+@dataclass
+class Baseline:
+    """Known-and-accepted findings, keyed by fingerprint."""
+
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not Path(path).exists():
+            return cls()
+        data = json.loads(Path(path).read_text())
+        return cls(entries={
+            entry["fingerprint"]: entry for entry in data.get("entries", [])
+        })
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": 1,
+            "entries": sorted(
+                self.entries.values(),
+                key=lambda e: (e["rule"], e["path"], e["fingerprint"]),
+            ),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def apply(self, report: Report) -> List[str]:
+        """Move baselined findings out of ``report.findings``; returns
+        fingerprints of *stale* entries (baselined but no longer
+        produced) so CI can demand their removal."""
+        produced = set()
+        kept: List[Finding] = []
+        for finding in report.findings:
+            produced.add(finding.fingerprint)
+            entry = self.entries.get(finding.fingerprint)
+            if entry is not None:
+                report.baselined.append(
+                    (finding, entry.get("justification", ""))
+                )
+            else:
+                kept.append(finding)
+        report.findings = kept
+        return sorted(set(self.entries) - produced)
+
+    def absorb(self, findings: List[Finding]) -> Tuple[int, int]:
+        """``--update-baseline``: add new findings (TODO-justified),
+        drop entries nothing produces.  Returns (added, removed)."""
+        produced = {f.fingerprint: f for f in findings}
+        added = 0
+        for fingerprint, finding in produced.items():
+            if fingerprint not in self.entries:
+                self.entries[fingerprint] = {
+                    "fingerprint": fingerprint,
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "symbol": finding.symbol,
+                    "message": finding.message,
+                    "justification": TODO_JUSTIFICATION,
+                }
+                added += 1
+        stale = set(self.entries) - set(produced)
+        for fingerprint in stale:
+            del self.entries[fingerprint]
+        return added, len(stale)

@@ -1,0 +1,169 @@
+"""``sls lint`` — run the invariant checker (see ANALYSIS.md).
+
+Exit codes: 0 clean (possibly via suppressions), 1 findings or stale
+baseline entries, 2 usage errors.  ``--format json`` emits one
+machine-readable document (CI uploads it as an artifact); ``--json
+PATH`` writes the same document to a file alongside the human output,
+matching the house style of ``sls bench``/``sls crashtest``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.core import ProjectTree, Report, run_rules
+from repro.analysis.rules import ALL_RULES, make_rules
+
+
+def _find_default_root() -> Path:
+    """``src/`` next to the installed package (editable installs), or
+    the current directory's ``src`` as a fallback."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if parent.name == "src":
+            return parent
+    return Path("src")
+
+
+def lint_tree(root: Path, rule_names: Optional[List[str]] = None,
+              baseline: Optional[Baseline] = None) -> Report:
+    """Library entry point: lint every ``*.py`` under ``root``.
+
+    Used by the CLI, CI, and ``tests/test_no_wallclock.py`` alike, so
+    the three can never disagree about what the rules see.
+    """
+    tree = ProjectTree.load(Path(root))
+    report = run_rules(tree, make_rules(rule_names))
+    if baseline is not None:
+        report.stale_baseline = baseline.apply(report)
+    return report
+
+
+def _report_json(report: Report) -> dict:
+    return {
+        "rules": report.rules_run,
+        "modules_scanned": report.modules_scanned,
+        "findings": [f.to_json() for f in report.findings],
+        "inline_suppressed": [f.to_json() for f in report.inline_suppressed],
+        "baselined": [
+            dict(f.to_json(), justification=why)
+            for f, why in report.baselined
+        ],
+        "stale_baseline": getattr(report, "stale_baseline", []),
+        "clean": report.clean,
+    }
+
+
+def add_lint_parser(subparsers) -> None:
+    """Register the ``lint`` subcommand on the ``sls`` CLI."""
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically check the tree's determinism/crash/API invariants",
+    )
+    lint.add_argument("root", nargs="?", default=None,
+                      help="tree to lint (default: the installed src/ tree)")
+    lint.add_argument("--rule", action="append", dest="rules", default=None,
+                      metavar="NAME",
+                      help="run only this rule (repeatable)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.add_argument("--format", choices=("human", "json"), default="human",
+                      help="stdout format (default: human)")
+    lint.add_argument("--json", metavar="PATH", default=None,
+                      help="also write the JSON report to PATH")
+    lint.add_argument("--baseline", metavar="PATH", default=None,
+                      help="suppression baseline (default: "
+                           f"{DEFAULT_BASELINE_NAME} next to the tree)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="absorb current findings into the baseline "
+                           "(new entries get a TODO justification)")
+
+
+def cmd_lint(args) -> int:
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.name:<16} {cls.summary}")
+        return 0
+
+    root = Path(args.root) if args.root else _find_default_root()
+    if not root.exists():
+        print(f"sls lint: no such tree: {root}", file=sys.stderr)
+        return 2
+    try:
+        rules = make_rules(args.rules)
+    except ValueError as exc:
+        print(f"sls lint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else (
+        _baseline_near(root)
+    )
+    baseline = None
+    if not args.no_baseline:
+        baseline = Baseline.load(baseline_path)
+
+    tree = ProjectTree.load(root)
+    report = run_rules(tree, rules)
+
+    if args.update_baseline:
+        if baseline is None:
+            baseline = Baseline()
+        added, removed = baseline.absorb(report.findings)
+        baseline.save(baseline_path)
+        print(f"baseline {baseline_path}: +{added} -{removed} "
+              f"({len(baseline.entries)} entries)")
+        return 0
+
+    if baseline is not None:
+        report.stale_baseline = baseline.apply(report)
+    stale = report.stale_baseline
+
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(_report_json(report), indent=2, sort_keys=True) + "\n"
+        )
+    if args.format == "json":
+        print(json.dumps(_report_json(report), indent=2, sort_keys=True))
+    else:
+        _print_human(report, stale)
+
+    return 0 if report.clean and not stale else 1
+
+
+def _baseline_near(root: Path) -> Path:
+    """The baseline lives at the repo root: next to ``src`` when
+    linting an ``src`` tree, else inside the linted tree."""
+    root = Path(root).resolve()
+    if root.name == "src":
+        return root.parent / DEFAULT_BASELINE_NAME
+    return root / DEFAULT_BASELINE_NAME
+
+
+def _print_human(report: Report, stale: List[str]) -> None:
+    for finding in report.findings:
+        print(finding.render())
+    summary = (
+        f"sls lint: {len(report.findings)} finding(s) over "
+        f"{report.modules_scanned} modules "
+        f"({', '.join(report.rules_run)})"
+    )
+    if report.inline_suppressed:
+        summary += f"; {len(report.inline_suppressed)} inline-suppressed"
+    if report.baselined:
+        summary += f"; {len(report.baselined)} baselined"
+    print(summary)
+    for finding, why in report.baselined:
+        print(f"  baselined: {finding.render()}  # {why}")
+    for fingerprint in stale:
+        print(
+            f"stale baseline entry {fingerprint}: no longer produced — "
+            "remove it (sls lint --update-baseline)"
+        )
+    if report.clean and not stale:
+        print("tree is clean")

@@ -1,0 +1,305 @@
+"""``crash-ordering``: the object store's crash invariants, statically.
+
+The store's durability contract (see FAULTS.md and the docstring of
+:class:`repro.objstore.store.ObjectStore`) has two machine-checkable
+halves:
+
+1. **superblock-after-records** — a superblock naming a snapshot must
+   be ordered after that snapshot's records in device queue order.
+   With batched I/O the dangerous shape is concrete: records buffered
+   in the open :class:`WriteBatch` while ``write_superblock`` runs
+   would let the snapshot's *name* reach the device before its *data*.
+   The check linearizes each function's effects (batched-record
+   appends, batch flushes, superblock writes), inlining the summaries
+   of called functions within the package (a small call-graph
+   typestate pass, in the spirit of SquirrelFS), and reports any
+   superblock write reachable with a batched record still unflushed.
+
+2. **failpoint coverage** — every raw volume/device write call site in
+   :mod:`repro.objstore` sits in a function that fires a registered
+   failpoint (an imported ``FP_*`` constant) *before* the write, so
+   the crash sweep can power-cut at every store-level durability
+   boundary.  The volume adapter (``block.py``) is exempt: its device
+   calls are covered by the device-level failpoints inside
+   :class:`~repro.hw.device.StorageDevice`.  Direct ``device.write``
+   calls anywhere else in the package bypass the volume layer and are
+   findings outright.
+
+Call-graph linking is name-based (no type inference): two methods
+sharing a name share a summary.  Inside one cohesive package that is
+the right trade — see ANALYSIS.md for the limitation statement.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.core import Finding, ProjectTree, Rule
+
+#: effect atoms, in the order they appear in a function body
+FLUSH = "flush"
+BATCHED_RECORD = "batched_record"
+SUPER = "superblock"
+FIRE = "fire"
+
+#: store-layer write entry points on the volume
+VOLUME_WRITES = frozenset({"write_data", "write_data_batch", "write_superblock"})
+#: raw device submission entry points
+DEVICE_WRITES = frozenset({"write", "write_async", "write_batch"})
+#: record producers that buffer into a batch
+BATCH_APPENDS = frozenset({"add_page", "add_meta"})
+#: record producers that buffer when given a ``batch=`` argument
+BATCH_PARAM_WRITERS = frozenset({"_write_record", "write_meta", "write_page"})
+
+
+def _receiver_text(node: ast.Call) -> str:
+    """Dotted receiver of a method call, '' for plain calls."""
+    if isinstance(node.func, ast.Attribute):
+        try:
+            return ast.unparse(node.func.value)
+        except Exception:  # pragma: no cover - unparse is total on exprs
+            return ""
+    return ""
+
+
+def _callee_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _fires_failpoint_constant(node: ast.Call) -> bool:
+    """Whether a ``.fire(...)`` call names an imported FP_* constant."""
+    if not node.args:
+        return False
+    first = node.args[0]
+    if isinstance(first, ast.Attribute):
+        return first.attr.startswith("FP_")
+    if isinstance(first, ast.Name):
+        return first.id.startswith("FP_")
+    return False
+
+
+class _FunctionFacts:
+    """Source-ordered effects + raw write sites of one function."""
+
+    def __init__(self, qualname: str, node: ast.AST, relpath: str):
+        self.qualname = qualname
+        self.node = node
+        self.relpath = relpath
+        #: [(lineno, col, effect, detail)] in source order
+        self.effects: List[Tuple[int, int, str, str]] = []
+        #: calls into other package functions: [(lineno, col, name)]
+        self.calls: List[Tuple[int, int, str]] = []
+        #: raw write call sites: [(lineno, col, kind, attr)]
+        self.raw_writes: List[Tuple[int, int, str, str]] = []
+        self._collect()
+        self.effects.sort(key=lambda e: (e[0], e[1]))
+        self.calls.sort()
+        self.raw_writes.sort()
+
+    def _collect(self) -> None:
+        own_body = list(ast.iter_child_nodes(self.node))
+        for child in own_body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue  # nested defs have their own facts
+            for node in ast.walk(child):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (isinstance(target, ast.Attribute)
+                                and target.attr == "_open_batch"
+                                and isinstance(node.value, ast.Constant)
+                                and node.value.value is None):
+                            # resetting the open batch neutralizes it
+                            self.effects.append(
+                                (node.lineno, node.col_offset, FLUSH,
+                                 "_open_batch = None")
+                            )
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _callee_name(node)
+                if name is None:
+                    continue
+                where = (node.lineno, node.col_offset)
+                receiver = _receiver_text(node)
+                if name == "flush" and "batch" in receiver.lower():
+                    self.effects.append(where + (FLUSH, receiver))
+                elif name in BATCH_APPENDS:
+                    self.effects.append(where + (BATCHED_RECORD, name))
+                elif name in BATCH_PARAM_WRITERS and self._batched(node):
+                    self.effects.append(where + (BATCHED_RECORD, name))
+                elif name == "write_superblock":
+                    self.effects.append(where + (SUPER, name))
+                    self.raw_writes.append(where + ("volume", name))
+                elif name in ("fire", "_fire") and _fires_failpoint_constant(node):
+                    self.effects.append(where + (FIRE, name))
+                elif name in VOLUME_WRITES:
+                    self.raw_writes.append(where + ("volume", name))
+                elif name in DEVICE_WRITES and (
+                    receiver == "device" or receiver.endswith(".device")
+                ):
+                    self.raw_writes.append(where + ("device", name))
+                else:
+                    self.calls.append(where + (name,))
+
+    @staticmethod
+    def _batched(node: ast.Call) -> bool:
+        for keyword in node.keywords:
+            if keyword.arg == "batch":
+                if (isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is None):
+                    return False
+                return True
+        return False
+
+
+class CrashOrderingRule(Rule):
+    name = "crash-ordering"
+    summary = (
+        "superblock writes flush the open batch first; every raw "
+        "objstore write site sits under a registered failpoint"
+    )
+
+    def check(self, tree: ProjectTree) -> List[Finding]:
+        config = tree.config
+        scoped = [
+            mod for mod in tree.modules
+            if mod.relpath.startswith(config.objstore_prefix)
+        ]
+        facts: Dict[str, List[_FunctionFacts]] = {}
+        per_module: List[Tuple[object, _FunctionFacts]] = []
+        for mod in scoped:
+            for qual, node in mod.scopes():
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                fact = _FunctionFacts(qual, node, mod.relpath)
+                facts.setdefault(node.name, []).append(fact)
+                per_module.append((mod, fact))
+
+        findings: List[Finding] = []
+        for mod, fact in per_module:
+            adapter = mod.relpath in config.adapter_modules
+            findings.extend(
+                self._check_ordering(mod, fact, facts)
+            )
+            if not adapter:
+                findings.extend(self._check_coverage(mod, fact))
+        return findings
+
+    # -- superblock-after-records ------------------------------------------------
+
+    def _summary(self, name: str, facts: Dict[str, List[_FunctionFacts]],
+                 stack: Tuple[str, ...] = ()) -> List[str]:
+        """Flattened effect sequence of every function named ``name``
+        (name-based linking), cycles cut at the recursion point."""
+        if name in stack or name not in facts:
+            return []
+        out: List[str] = []
+        for fact in facts[name]:
+            out.extend(
+                self._linearize(fact, facts, stack + (name,))
+            )
+        return out
+
+    def _linearize(self, fact: _FunctionFacts,
+                   facts: Dict[str, List[_FunctionFacts]],
+                   stack: Tuple[str, ...]) -> List[str]:
+        merged: List[Tuple[int, int, object]] = [
+            (line, col, effect) for line, col, effect, _ in fact.effects
+        ]
+        for line, col, callee in fact.calls:
+            merged.append((line, col, self._summary(callee, facts, stack)))
+        merged.sort(key=lambda item: (item[0], item[1]))
+        out: List[str] = []
+        for _, _, item in merged:
+            if isinstance(item, list):
+                out.extend(item)
+            else:
+                out.append(item)
+        return out
+
+    def _check_ordering(self, mod, fact: _FunctionFacts,
+                        facts: Dict[str, List[_FunctionFacts]]) -> List[Finding]:
+        """Within ``fact``, no SUPER effect may be reachable while a
+        batched record (its own or an inlined callee's) is unflushed."""
+        findings: List[Finding] = []
+        merged: List[Tuple[int, int, object, str]] = [
+            (line, col, effect, detail)
+            for line, col, effect, detail in fact.effects
+        ]
+        for line, col, callee in fact.calls:
+            merged.append(
+                (line, col, self._summary(callee, facts, (fact.node.name,)),
+                 callee)
+            )
+        merged.sort(key=lambda item: (item[0], item[1]))
+
+        pending_since: Optional[str] = None
+        for line, col, item, detail in merged:
+            effects = item if isinstance(item, list) else [item]
+            for effect in effects:
+                if effect == BATCHED_RECORD:
+                    if pending_since is None:
+                        pending_since = detail
+                elif effect == FLUSH:
+                    pending_since = None
+                elif effect == SUPER and pending_since is not None:
+                    findings.append(Finding(
+                        rule=self.name,
+                        path=mod.relpath,
+                        line=line,
+                        col=col,
+                        message=(
+                            "superblock write reachable with batched "
+                            f"records (from {pending_since!r}) still "
+                            "unflushed; flush the open WriteBatch first"
+                        ),
+                        symbol=fact.qualname,
+                    ))
+                    pending_since = None  # one report per unflushed run
+        return findings
+
+    # -- failpoint coverage --------------------------------------------------------
+
+    def _check_coverage(self, mod, fact: _FunctionFacts) -> List[Finding]:
+        findings: List[Finding] = []
+        fires_before = [
+            (line, col) for line, col, effect, _ in fact.effects
+            if effect == FIRE
+        ]
+        for line, col, kind, attr in fact.raw_writes:
+            if kind == "device":
+                findings.append(Finding(
+                    rule=self.name,
+                    path=mod.relpath,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"raw device.{attr}() bypasses the Volume layer; "
+                        "go through volume.write_* so superblock ordering "
+                        "and failpoint coverage hold"
+                    ),
+                    symbol=fact.qualname,
+                ))
+                continue
+            covered = any(
+                (fl, fc) < (line, col) for fl, fc in fires_before
+            )
+            if not covered:
+                findings.append(Finding(
+                    rule=self.name,
+                    path=mod.relpath,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"{attr}() call site has no registered failpoint "
+                        "fired before it in this function; fire an FP_* "
+                        "constant so the crash sweep covers this boundary"
+                    ),
+                    symbol=fact.qualname,
+                ))
+        return findings

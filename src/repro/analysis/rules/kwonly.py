@@ -1,0 +1,137 @@
+"""``kwonly-api``: the public libsls/orchestrator surface stays
+keyword-only where PR 2 put it.
+
+The libsls redesign made every option an explicit keyword (or an
+options object) so a misspelled knob fails loudly instead of being
+swallowed by ``**kwargs`` two layers down.  That shape erodes one
+convenient positional bool at a time; this rule pins it:
+
+1. a parameter named ``options`` (or ``*_options``) is keyword-only;
+2. no public entry point takes ``**kwargs`` — except deprecation
+   shims (a var-keyword named ``legacy*``, which exists to *reject*
+   unknown keys loudly) and pure delegates whose entire body forwards
+   ``*args, **kwargs`` to one callee;
+3. a parameter defaulting to ``True``/``False`` is keyword-only —
+   ``checkpoint(group, True)`` at a call site is unreadable and
+   un-greppable, and flag arguments are exactly what drifts first.
+
+Scope: the modules named in ``AnalyzerConfig.api_modules`` (the
+``AuroraApi`` surface and the orchestrator).  Private helpers
+(leading underscore), dunders, and nested functions are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import Finding, ProjectTree, Rule
+
+
+def _is_pure_delegate(node: ast.FunctionDef) -> bool:
+    """Body is (docstring +) ``return callee(*args, **kwargs)``."""
+    body = list(node.body)
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ):
+        body = body[1:]
+    if len(body) != 1 or not isinstance(body[0], ast.Return):
+        return False
+    call = body[0].value
+    if not isinstance(call, ast.Call):
+        return False
+    has_star = any(isinstance(arg, ast.Starred) for arg in call.args)
+    has_kw = any(keyword.arg is None for keyword in call.keywords)
+    return has_star and has_kw
+
+
+class KwOnlyApiRule(Rule):
+    name = "kwonly-api"
+    summary = (
+        "public API entry points keep options objects and flag "
+        "parameters keyword-only, and reject blind **kwargs"
+    )
+
+    def check(self, tree: ProjectTree) -> List[Finding]:
+        findings: List[Finding] = []
+        for mod in tree.modules:
+            if mod.relpath not in tree.config.api_modules:
+                continue
+            for qual, node in mod.scopes():
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if node.name.startswith("_"):
+                    continue
+                # nested functions (closures) are implementation detail
+                if any(part.startswith("_") for part in qual.split(".")):
+                    continue
+                if self._is_nested(mod, node):
+                    continue
+                findings.extend(self._check_function(mod, qual, node))
+        return findings
+
+    @staticmethod
+    def _is_nested(mod, node: ast.AST) -> bool:
+        """Defined inside another function (not a plain method)?"""
+        for _qual, scope in mod.scopes():
+            if scope is node:
+                continue
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if (scope.lineno < node.lineno
+                        and (scope.end_lineno or 0) >= (node.end_lineno or 0)):
+                    return True
+        return False
+
+    def _check_function(self, mod, qual: str,
+                        node: ast.FunctionDef) -> List[Finding]:
+        findings: List[Finding] = []
+
+        def finding(message: str, at: ast.AST = node) -> Finding:
+            return Finding(
+                rule=self.name,
+                path=mod.relpath,
+                line=at.lineno,
+                col=at.col_offset,
+                message=message,
+                symbol=qual,
+            )
+
+        args = node.args
+        # positional (or positional-or-keyword) params with defaults,
+        # paired up from the tail
+        positional = list(args.posonlyargs) + list(args.args)
+        defaults = list(args.defaults)
+        defaulted = list(zip(positional[len(positional) - len(defaults):],
+                             defaults))
+
+        for arg, default in defaulted:
+            if arg.arg == "options" or arg.arg.endswith("_options"):
+                findings.append(finding(
+                    f"parameter {arg.arg!r} of {node.name}() must be "
+                    "keyword-only (declare it after '*')", at=arg,
+                ))
+            elif (isinstance(default, ast.Constant)
+                    and isinstance(default.value, bool)):
+                findings.append(finding(
+                    f"flag parameter {arg.arg}={default.value} of "
+                    f"{node.name}() must be keyword-only (declare it "
+                    "after '*')", at=arg,
+                ))
+        for arg in positional:
+            if (arg.arg == "options" or arg.arg.endswith("_options")) and all(
+                arg is not darg for darg, _ in defaulted
+            ):
+                findings.append(finding(
+                    f"parameter {arg.arg!r} of {node.name}() must be "
+                    "keyword-only (declare it after '*')", at=arg,
+                ))
+
+        if args.kwarg is not None and not args.kwarg.arg.startswith("legacy"):
+            if not _is_pure_delegate(node):
+                findings.append(finding(
+                    f"public entry point {node.name}() takes "
+                    f"**{args.kwarg.arg}; forwarded option bags swallow "
+                    "typos — declare explicit keyword-only parameters "
+                    "or an options object", at=args.kwarg,
+                ))
+        return findings

@@ -1,0 +1,156 @@
+"""``registry-drift``: instrument names come from the catalogues.
+
+Span, tracepoint, metric, and failpoint names live in exactly two
+places — :mod:`repro.obs.names` and :mod:`repro.fault.names` — and
+the docs tests pin those catalogues to OBSERVABILITY.md / FAULTS.md.
+That chain only holds if instrumented modules *import the constants*:
+an inline ``"objstore.gc"`` string would keep working today and drift
+silently the day the catalogue renames it.
+
+Three checks:
+
+1. calls to the instrument APIs (``span``/``event``/``counter``/
+   ``gauge``/``histogram``/``fire``/``arm``) must not pass a string
+   literal as the name — variables and imported constants are fine;
+2. no string literal in an instrumented module may equal a catalogue
+   value (spelled-out copies of a registry name, wherever they hide);
+3. every catalogue constant must be referenced somewhere outside its
+   defining module — an unreferenced constant is dead weight the docs
+   still advertise (reserve intentionally with an inline suppression).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List
+
+from repro.analysis.core import Finding, ProjectTree, Rule, SourceModule
+
+#: methods whose first argument names an instrument or failpoint
+INSTRUMENT_CALLS = frozenset({
+    "span", "event", "counter", "gauge", "histogram", "fire", "arm", "_fire",
+})
+#: dotted paths that make a module "instrumented" when imported
+REGISTRY_IMPORTS = ("repro.obs.names", "repro.fault.names")
+
+
+class RegistryDriftRule(Rule):
+    name = "registry-drift"
+    summary = (
+        "instrument/failpoint names are imported catalogue constants, "
+        "and every catalogue constant is referenced"
+    )
+
+    def check(self, tree: ProjectTree) -> List[Finding]:
+        config = tree.config
+        values = {}
+        values.update(config.obs_registry)
+        values.update(config.fault_registry)
+        value_set = frozenset(values.values())
+
+        findings: List[Finding] = []
+        referenced: Dict[str, int] = {name: 0 for name in values}
+
+        for mod in tree.modules:
+            is_registry_def = mod.relpath in config.registry_modules
+            if not is_registry_def:
+                self._count_references(mod, referenced)
+            if is_registry_def or any(
+                mod.relpath.startswith(prefix) for prefix in config.drift_exempt
+            ):
+                continue
+            instrumented = any(
+                mod.imports.imports_module(dotted)
+                for dotted in REGISTRY_IMPORTS
+            )
+            if not instrumented:
+                continue
+            findings.extend(self._check_literals(mod, value_set))
+
+        for registry_path, constants in (
+            (config.registry_modules[0], config.obs_registry),
+            (config.registry_modules[-1], config.fault_registry),
+        ):
+            mod = tree.module(registry_path)
+            if mod is None:
+                continue
+            findings.extend(
+                self._check_unreferenced(mod, constants, referenced)
+            )
+        return findings
+
+    def _count_references(self, mod: SourceModule,
+                          referenced: Dict[str, int]) -> None:
+        """Count uses of catalogue constants: attribute accesses
+        (``obs_names.SPAN_GC``) and imported names."""
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Attribute) and node.attr in referenced:
+                referenced[node.attr] += 1
+            elif isinstance(node, ast.Name) and node.id in referenced:
+                referenced[node.id] += 1
+
+    def _check_literals(self, mod: SourceModule,
+                        value_set: frozenset) -> List[Finding]:
+        findings: List[Finding] = []
+
+        def finding(node: ast.AST, message: str) -> Finding:
+            return Finding(
+                rule=self.name,
+                path=mod.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=message,
+                symbol=mod.enclosing_symbol(node.lineno),
+            )
+
+        literal_name_args = set()
+        for node in ast.walk(mod.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in INSTRUMENT_CALLS
+                    and node.args):
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                literal_name_args.add(id(first))
+                findings.append(finding(
+                    first,
+                    f"inline instrument name {first.value!r} passed to "
+                    f".{node.func.attr}(); import the constant from "
+                    "repro.obs.names / repro.fault.names",
+                ))
+        for node in ast.walk(mod.tree):
+            if (isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and node.value in value_set
+                    and id(node) not in literal_name_args
+                    and node.lineno not in mod.docstring_lines):
+                findings.append(finding(
+                    node,
+                    f"string literal {node.value!r} duplicates a catalogue "
+                    "name; use the imported constant",
+                ))
+        return findings
+
+    def _check_unreferenced(self, mod: SourceModule, constants: Dict[str, str],
+                            referenced: Dict[str, int]) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(mod.tree):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                continue
+            name = node.targets[0].id
+            if name in constants and referenced.get(name, 0) == 0:
+                findings.append(Finding(
+                    rule=self.name,
+                    path=mod.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"catalogue constant {name} "
+                        f"({constants[name]!r}) is never referenced; "
+                        "delete it or suppress with a justification"
+                    ),
+                    symbol=name,
+                ))
+        return findings

@@ -1,0 +1,173 @@
+"""``unit-suffix``: ``_ns`` / ``_bytes`` names carry their unit
+honestly.
+
+The whole simulation is integer nanoseconds and integer bytes (see
+:mod:`repro.units`); the suffix convention is what keeps a latency
+from silently landing in a size field.  Two failure shapes:
+
+1. **magic literals** — ``timeout_ns = 30000`` forces the reader to
+   count zeros; ``30 * USEC`` (or a named constant) states the unit.
+   Bare *integer* literals (and arithmetic built purely from them)
+   assigned to suffixed names are findings; ``0``/``1``/``-1`` are
+   identities, not magnitudes, and stay legal.  Float literals are
+   exempt by design: an integer magnitude always decomposes into a
+   units product, but the measured calibration coefficients in
+   ``repro.hw.specs`` (``pte_cow_arm_ns = 9.815``, fitted slopes from
+   the paper's tables) are data, not durations-with-zeros.
+2. **suffix mismatches** — a *direct copy* between names of different
+   unit classes (``deadline_ns = chunk_bytes``) is near-certainly a
+   bug.  Only verbatim Name/Attribute copies are checked: arithmetic
+   legitimately converts between units (``transfer_ns`` divides bytes
+   by bandwidth), so expressions are out of scope by design.
+
+Checked positions: assignments (plain, annotated, augmented) whose
+target is a suffixed name, and keyword arguments with suffixed names
+at any call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.core import Finding, ProjectTree, Rule
+
+#: suffix -> unit class
+SUFFIX_CLASSES = {
+    "_ns": "time",
+    "_bytes": "size",
+    "_nbytes": "size",
+}
+#: identity-ish literals that are not magnitudes
+ALLOWED_LITERALS = frozenset({0, 1, -1})
+
+
+def _suffix_class(name: str) -> Optional[str]:
+    for suffix, cls in SUFFIX_CLASSES.items():
+        if name.endswith(suffix):
+            return cls
+    return None
+
+
+def _target_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _pure_literal_value(node: ast.AST) -> Optional[int]:
+    """Integer value of an expression made only of int literals, else
+    None (floats are calibration data — see the module docstring)."""
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool) or not isinstance(node.value, int):
+            return None
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _pure_literal_value(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.BinOp):
+        left = _pure_literal_value(node.left)
+        right = _pure_literal_value(node.right)
+        if left is None or right is None:
+            return None
+        try:
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Pow):
+                return left ** right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+        except (OverflowError, ValueError):  # pragma: no cover
+            return None
+    return None
+
+
+class UnitSuffixRule(Rule):
+    name = "unit-suffix"
+    summary = (
+        "_ns/_bytes names are never fed bare magic literals or "
+        "direct copies of the opposite unit class"
+    )
+
+    def check(self, tree: ProjectTree) -> List[Finding]:
+        findings: List[Finding] = []
+        for mod in tree.modules:
+            if mod.relpath in tree.config.units_modules:
+                continue
+            findings.extend(self._check_module(mod))
+        return findings
+
+    def _check_module(self, mod) -> List[Finding]:
+        findings: List[Finding] = []
+
+        def check_pair(target_name: str, value: ast.AST, node: ast.AST):
+            cls = _suffix_class(target_name)
+            if cls is None:
+                return
+            literal = _pure_literal_value(value)
+            if literal is not None and literal not in ALLOWED_LITERALS:
+                findings.append(Finding(
+                    rule=self.name,
+                    path=mod.relpath,
+                    line=value.lineno,
+                    col=value.col_offset,
+                    message=(
+                        f"magic literal {literal!r} assigned to "
+                        f"{target_name!r}; build it from repro.units "
+                        "(USEC, MIB, PAGE_SIZE, ...) or name it"
+                    ),
+                    symbol=mod.enclosing_symbol(value.lineno),
+                ))
+                return
+            source_name = _target_name(value)
+            if source_name is None:
+                return
+            source_cls = _suffix_class(source_name)
+            if source_cls is not None and source_cls != cls:
+                findings.append(Finding(
+                    rule=self.name,
+                    path=mod.relpath,
+                    line=value.lineno,
+                    col=value.col_offset,
+                    message=(
+                        f"{cls} name {target_name!r} assigned directly "
+                        f"from {source_cls} name {source_name!r}; "
+                        "convert explicitly (see repro.units)"
+                    ),
+                    symbol=mod.enclosing_symbol(value.lineno),
+                ))
+
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    name = _target_name(target)
+                    if name is not None:
+                        check_pair(name, node.value, node)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                name = _target_name(node.target)
+                if name is not None:
+                    check_pair(name, node.value, node)
+            elif isinstance(node, ast.AugAssign):
+                name = _target_name(node.target)
+                if name is not None and isinstance(node.op, (ast.Add, ast.Sub)):
+                    check_pair(name, node.value, node)
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg is not None:
+                        check_pair(keyword.arg, keyword.value, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                positional = list(args.posonlyargs) + list(args.args)
+                defaults = list(args.defaults)
+                for arg, default in zip(
+                    positional[len(positional) - len(defaults):], defaults
+                ):
+                    check_pair(arg.arg, default, node)
+                for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+                    if default is not None:
+                        check_pair(arg.arg, default, node)
+        return findings

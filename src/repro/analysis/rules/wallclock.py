@@ -1,0 +1,126 @@
+"""``no-wallclock``: simulated-kernel code never reads the host clock.
+
+Everything under ``src/repro`` is keyed to the simulated clock
+(:mod:`repro.sim.clock`); one stray ``time.time()`` leaks host timing
+into results and breaks determinism, the crash sweep, and the pinned
+benchmarks all at once.  The retired CI grep could be defeated by an
+alias (``import time as t``) or a member import (``from time import
+monotonic as mono``); this rule resolves names through the module's
+import map, so it flags what the code *means*, not what it spells.
+
+Unseeded randomness is the same bug in a different coat: the
+module-level functions of :mod:`random` draw from a process-global
+generator seeded from OS entropy.  Seeded ``random.Random(seed)``
+instances (what :mod:`repro.sim.rng` hands out) are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import Finding, ProjectTree, Rule
+
+#: wall-clock readers in the time module (incl. ns variants; ``sleep``
+#: blocks real time, equally foreign to a virtual-clock simulation)
+TIME_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "sleep",
+    "gmtime", "localtime",
+})
+#: wall-clock constructors on datetime/date
+DATETIME_FUNCS = frozenset({"now", "today", "utcnow"})
+#: the only members of ``random`` that do not touch the global RNG
+RANDOM_ALLOWED = frozenset({"Random"})
+
+
+class WallClockRule(Rule):
+    name = "no-wallclock"
+    summary = (
+        "no wall-clock reads, sleeps, or unseeded randomness in "
+        "simulated-kernel code (alias-aware)"
+    )
+
+    def check(self, tree: ProjectTree) -> List[Finding]:
+        findings: List[Finding] = []
+        for mod in tree.modules:
+            findings.extend(self._check_module(mod))
+        return findings
+
+    def _flagged_target(self, dotted: str) -> str:
+        """Why ``dotted`` (a resolved import path) is banned, or ''."""
+        parts = dotted.split(".")
+        if parts[0] == "time" and len(parts) == 2 and parts[1] in TIME_FUNCS:
+            return f"wall-clock read {dotted}() (use the SimClock)"
+        if parts[0] == "datetime" and parts[-1] in DATETIME_FUNCS:
+            return f"wall-clock read {dotted}() (use the SimClock)"
+        if parts[0] == "random" and len(parts) >= 2 and (
+            parts[1] not in RANDOM_ALLOWED
+        ):
+            return (
+                f"unseeded randomness {dotted} (use a seeded stream "
+                "from repro.sim.rng)"
+            )
+        return ""
+
+    def _check_module(self, mod) -> List[Finding]:
+        findings: List[Finding] = []
+        #: local names aliased to a banned function via assignment
+        assigned_aliases = {}
+
+        def finding(node: ast.AST, message: str) -> Finding:
+            return Finding(
+                rule=self.name,
+                path=mod.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=message,
+                symbol=mod.enclosing_symbol(node.lineno),
+            )
+
+        # Banned member imports are findings at the import itself:
+        # ``from time import monotonic`` is a wall-clock dependency
+        # whether or not the name is ever called.
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    why = self._flagged_target(f"{node.module}.{alias.name}")
+                    if why:
+                        findings.append(finding(node, why))
+
+        for node in ast.walk(mod.tree):
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                dotted = mod.imports.resolve(node)
+                if dotted is None:
+                    continue
+                why = self._flagged_target(dotted)
+                if not why:
+                    continue
+                # Attribute chains resolve their inner Name too; only
+                # report the outermost (longest) resolution once — an
+                # inner Name node resolves to a bare module ("time"),
+                # which _flagged_target already rejects.
+                if isinstance(node, ast.Name) and node.id in mod.imports.members:
+                    # member import already reported at the import site
+                    continue
+                findings.append(finding(node, why))
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                # One level of assignment aliasing: ``now = time.time``.
+                target = node.targets[0]
+                dotted = mod.imports.resolve(node.value)
+                if isinstance(target, ast.Name) and dotted:
+                    why = self._flagged_target(dotted)
+                    if why:
+                        assigned_aliases[target.id] = dotted
+
+        for name, dotted in assigned_aliases.items():
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Name
+                ) and node.func.id == name:
+                    findings.append(finding(
+                        node,
+                        f"call through alias {name!r} of "
+                        + self._flagged_target(dotted),
+                    ))
+        return findings

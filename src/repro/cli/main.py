@@ -32,6 +32,11 @@ recovery and the prefix-consistency/leak/restore oracles.
 BENCHMARKS.md): deterministic, byte-stable JSON that CI diffs against
 ``benchmarks/results/baseline.json`` to gate performance regressions.
 
+``sls lint`` runs the AST-based invariant checker (see ANALYSIS.md):
+determinism, registry drift, crash ordering, keyword-only API, and
+unit-suffix rules over the source tree, with a checked-in suppression
+baseline.  CI runs it as a blocking job.
+
 ``FILE`` may be a Python program (run like ``python FILE``) or an sls
 command script; with no file the canned demo is traced.
 """
@@ -259,8 +264,15 @@ def main(argv=None) -> int:
                        help="diff against a baseline JSON; exit 1 on regression")
     bench.add_argument("--tolerance", type=float, default=0.05,
                        help="relative slack for the comparison (default 0.05)")
+    from repro.analysis.cli import add_lint_parser
+
+    add_lint_parser(sub)
     args = parser.parse_args(argv)
 
+    if args.mode == "lint":
+        from repro.analysis.cli import cmd_lint
+
+        return cmd_lint(args)
     if args.mode == "trace":
         return cmd_trace(args)
     if args.mode == "stats":

@@ -156,7 +156,7 @@ class AuroraApi:
 
     # -- data-plane primitives ---------------------------------------------------
 
-    def sls_ntflush(self, data: bytes, sync: bool = True) -> LogAppend:
+    def sls_ntflush(self, data: bytes, *, sync: bool = True) -> LogAppend:
         """Low-latency append to the group's persistent log.
 
         Bypasses the checkpoint cycle entirely — the calling database
@@ -218,7 +218,8 @@ class AuroraApi:
             raise SlsError("data snapshots require a store backend")
         return stores[0].store
 
-    def sls_datasnap(self, addr: int, length: int, name: str, sync: bool = False):
+    def sls_datasnap(self, addr: int, length: int, name: str, *,
+                     sync: bool = False):
         """Checkpoint a memory region *without* execution state.
 
         The explicit persistence primitive: the database hands Aurora a
@@ -246,6 +247,7 @@ class AuroraApi:
         self,
         addr: int,
         length: int,
+        *,
         include: bool = True,
         hint: str = "",
     ) -> int:

@@ -26,6 +26,7 @@ from repro.hw.device import StorageDevice
 from repro.hw.netdev import NetworkEndpoint
 from repro.mem.cow import FreezeSet
 from repro.mem.page import Page
+from repro.units import MSEC
 from repro.obs import names as obs_names
 from repro.objstore.record import encode
 from repro.objstore.store import ObjectStore, PageRef
@@ -274,7 +275,7 @@ class RemoteBackend(Backend):
     kind = "remote"
 
     def __init__(self, name: str, endpoint: NetworkEndpoint, peer: str,
-                 max_retries: int = 3, retry_backoff_ns: int = 1_000_000):
+                 max_retries: int = 3, retry_backoff_ns: int = 1 * MSEC):
         super().__init__(name)
         self.endpoint = endpoint
         self.peer = peer

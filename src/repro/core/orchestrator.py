@@ -55,6 +55,7 @@ class SLS:
         self,
         target,
         name: Optional[str] = None,
+        *,
         period_ns: int = DEFAULT_PERIOD_NS,
         auto_checkpoint: bool = False,
     ) -> PersistenceGroup:
@@ -77,6 +78,7 @@ class SLS:
 
     def persist_host(
         self,
+        *,
         period_ns: int = DEFAULT_PERIOD_NS,
         auto_checkpoint: bool = False,
     ) -> PersistenceGroup:

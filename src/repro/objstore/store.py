@@ -419,6 +419,21 @@ class ObjectStore:
         snapshot = self.directory.get(snap_id)
         if snapshot is None:
             raise NoSuchObject(f"no snapshot {snap_id}")
+        if self.faults is not None:
+            action = self.faults.fire(
+                fault_names.FP_STORE_DELETE,
+                store=self.device.name, snapshot=snapshot.name,
+            )
+            if action is not None:
+                if action.kind == "crash":
+                    raise PowerCut(
+                        action.reason or f"power cut deleting {snapshot.name!r}",
+                        at_ns=self._now(),
+                    )
+                if action.kind == "fail":
+                    raise ObjectStoreError(
+                        action.reason or f"injected delete failure for {snapshot.name!r}"
+                    )
         _meta, records, pages = self.load_manifest(snapshot)
         for ref in records:
             self._release_meta(ref.extent)

@@ -1,0 +1,13 @@
+"""Three crash-ordering violations in one store."""
+
+
+class Store:
+    def commit_snapshot(self, snapshot):
+        batch = self.batch
+        batch.add_meta(snapshot)
+        # superblock written while the batch still holds the records
+        self.volume.write_superblock(self.directory)
+
+    def compact(self):
+        # raw device write bypassing the Volume layer
+        self.device.write(0, b"x")

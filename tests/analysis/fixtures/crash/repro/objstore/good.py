@@ -1,0 +1,13 @@
+"""The correct commit shape: flush, fire the failpoint, then name."""
+
+from repro.fault import names as fault_names
+
+
+class Store:
+    def commit_snapshot(self, snapshot):
+        batch = self.batch
+        batch.add_meta(snapshot)
+        batch.flush()
+        if self.faults is not None:
+            self.faults.fire(fault_names.FP_STORE_COMMIT, store=self.name)
+        self.volume.write_superblock(self.directory)

@@ -1,0 +1,12 @@
+"""Public surface eroding: positional flags, options, and **kwargs."""
+
+
+class Api:
+    def checkpoint(self, group, sync=True):
+        return group, sync
+
+    def restore(self, name, options=None):
+        return name, options
+
+    def configure(self, **kwargs):
+        return kwargs

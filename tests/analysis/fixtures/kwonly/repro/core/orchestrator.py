@@ -1,0 +1,14 @@
+"""Public surface holding the line: every flag is keyword-only."""
+
+
+class Orchestrator:
+    def persist(self, target, name=None, *, period_ns=0, auto_checkpoint=False):
+        return target, name, period_ns, auto_checkpoint
+
+    def persist_legacy(self, *args, **legacy_kwargs):
+        # deprecation shim: exists to reject unknown keys loudly
+        return self.persist(*args, **legacy_kwargs)
+
+    def attach(self, *args, **kwargs):
+        """Pure delegate: the whole body forwards to one callee."""
+        return self.persist(*args, **kwargs)

@@ -1,0 +1,3 @@
+"""Fixture failpoint catalogue."""
+
+FP_DEMO_WRITE = "demo.write"

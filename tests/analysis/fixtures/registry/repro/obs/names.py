@@ -1,0 +1,5 @@
+"""Fixture observability catalogue."""
+
+SPAN_CHECKPOINT = "sls.checkpoint"
+COUNTER_UNUSED = "objstore.unused_total"
+COUNTER_RESERVED = "objstore.reserved_total"  # sls-lint: ok[registry-drift] reserved for the GC PR

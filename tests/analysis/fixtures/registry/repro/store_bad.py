@@ -1,0 +1,11 @@
+"""Instrumented module with spelled-out names: both drift shapes."""
+
+from repro.obs import names as obs_names
+
+
+def checkpoint(obs):
+    with obs.span("sls.checkpoint"):
+        pass
+
+
+LABEL = "demo.write"

@@ -1,0 +1,9 @@
+"""Instrumented module done right: names are imported constants."""
+
+from repro.fault import names as fault_names
+from repro.obs import names as obs_names
+
+
+def checkpoint(obs, faults):
+    with obs.span(obs_names.SPAN_CHECKPOINT):
+        faults.fire(fault_names.FP_DEMO_WRITE)

@@ -1,0 +1,8 @@
+"""Magic literals and a unit mismatch."""
+
+
+def configure():
+    timeout_ns = 30000
+    chunk_bytes = 4 * 1024
+    deadline_ns = chunk_bytes
+    return timeout_ns, deadline_ns

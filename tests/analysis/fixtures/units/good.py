@@ -1,0 +1,13 @@
+"""Suffixed names built honestly from unit helpers."""
+
+USEC = 1_000
+MSEC = 1_000_000
+
+SLOPE_NS = 9.815  # measured calibration coefficient: floats are exempt
+
+
+def configure(timeout_ns=30 * USEC):
+    budget_ns = 5 * MSEC
+    retries = 0
+    count_bytes = 0  # identity literals stay legal
+    return budget_ns + timeout_ns, retries, count_bytes

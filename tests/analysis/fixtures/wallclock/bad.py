@@ -1,0 +1,29 @@
+"""Every shape of wall-clock leak the old grep could not see."""
+
+import random
+import time as t
+from datetime import datetime
+from time import monotonic as mono
+
+
+def stamp():
+    return t.time()
+
+
+def tick():
+    return mono()
+
+
+def when():
+    return datetime.now()
+
+
+def roll():
+    return random.random()
+
+
+now = t.perf_counter
+
+
+def late():
+    return now()

@@ -1,0 +1,12 @@
+"""Clean module: everything is keyed to the simulated clock."""
+
+from random import Random
+
+
+def deterministic_jitter(seed):
+    rng = Random(seed)
+    return rng.random()
+
+
+def now_ns(clock):
+    return clock.now()

@@ -1,0 +1,119 @@
+"""``sls lint`` end to end: exit codes, JSON output, the baseline
+workflow, and the shipped tree staying clean modulo the baseline."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import Baseline
+from repro.analysis.baseline import TODO_JUSTIFICATION
+from repro.analysis.cli import _find_default_root, lint_tree
+from repro.cli.main import main
+
+REPO = Path(__file__).resolve().parent.parent.parent
+SRC = REPO / "src"
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+BAD_WALLCLOCK = "import time\n\n\ndef stamp():\n    return time.time()\n"
+GOOD_WALLCLOCK = "def stamp(clock):\n    return clock.now()\n"
+
+
+# -- the shipped tree ------------------------------------------------------------
+
+
+def test_shipped_tree_is_clean_modulo_baseline():
+    baseline = Baseline.load(REPO / ".sls-lint-baseline.json")
+    report = lint_tree(SRC, None, baseline)
+    assert report.clean, "\n".join(f.render() for f in report.findings)
+    assert report.stale_baseline == []
+    assert len(report.rules_run) == 5
+
+
+def test_cli_over_shipped_tree_exits_zero(capsys):
+    assert main(["lint", str(SRC)]) == 0
+    assert "tree is clean" in capsys.readouterr().out
+
+
+def test_default_root_is_the_installed_src_tree():
+    assert _find_default_root() == SRC
+
+
+# -- flags and exit codes --------------------------------------------------------
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in ("no-wallclock", "registry-drift", "crash-ordering",
+                 "kwonly-api", "unit-suffix"):
+        assert name in out
+
+
+def test_unknown_rule_is_usage_error(capsys):
+    assert main(["lint", str(SRC), "--rule", "no-such-rule"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_root_is_usage_error(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nowhere")]) == 2
+    assert "no such tree" in capsys.readouterr().err
+
+
+def test_findings_exit_one_and_json_report(tmp_path, capsys):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "bad.py").write_text(BAD_WALLCLOCK)
+    out_path = tmp_path / "report.json"
+    code = main(["lint", str(tree), "--format", "json",
+                 "--json", str(out_path)])
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document == json.loads(out_path.read_text())
+    assert document["clean"] is False
+    assert document["modules_scanned"] == 1
+    [finding] = document["findings"]
+    assert finding["rule"] == "no-wallclock"
+    assert finding["symbol"] == "stamp"
+
+
+def test_rule_selection_scopes_the_run(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "bad.py").write_text(BAD_WALLCLOCK)
+    assert main(["lint", str(tree), "--rule", "unit-suffix"]) == 0
+    assert main(["lint", str(tree), "--rule", "no-wallclock"]) == 1
+
+
+# -- the baseline workflow -------------------------------------------------------
+
+
+def test_baseline_absorb_waive_and_go_stale(tmp_path, capsys):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "bad.py").write_text(BAD_WALLCLOCK)
+    baseline_path = tree / ".sls-lint-baseline.json"
+
+    # 1. absorb the finding; new entries get the TODO justification
+    assert main(["lint", str(tree), "--update-baseline"]) == 0
+    entries = json.loads(baseline_path.read_text())["entries"]
+    assert [e["justification"] for e in entries] == [TODO_JUSTIFICATION]
+
+    # 2. with the baseline in place the same tree lints clean
+    capsys.readouterr()
+    assert main(["lint", str(tree)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # 3. ...but only through the baseline, never silently
+    assert main(["lint", str(tree), "--no-baseline"]) == 1
+
+    # 4. fixing the code makes the entry stale, which blocks again
+    (tree / "bad.py").write_text(GOOD_WALLCLOCK)
+    capsys.readouterr()
+    assert main(["lint", str(tree)]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+    # 5. --update-baseline garbage-collects the stale entry
+    assert main(["lint", str(tree), "--update-baseline"]) == 0
+    assert json.loads(baseline_path.read_text())["entries"] == []
+    assert main(["lint", str(tree)]) == 0

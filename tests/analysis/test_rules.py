@@ -1,0 +1,164 @@
+"""Each rule against its fixture corpus: the bad snippet must fail,
+the good snippet must pass, with the exact findings pinned."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalyzerConfig,
+    Finding,
+    ProjectTree,
+    make_rules,
+    run_rules,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def run_fixture(name, rule, config=None):
+    tree = ProjectTree.load(FIXTURES / name, config=config or AnalyzerConfig())
+    return run_rules(tree, make_rules([rule]))
+
+
+def by_path(report, path):
+    return [f for f in report.findings if f.path == path]
+
+
+# -- no-wallclock ---------------------------------------------------------------
+
+
+def test_wallclock_bad_fixture_fails():
+    report = run_fixture("wallclock", "no-wallclock")
+    bad = by_path(report, "bad.py")
+    messages = "\n".join(f.message for f in bad)
+    assert "time.monotonic" in messages          # member import, at the import
+    assert "time.time" in messages               # aliased module attribute
+    assert "datetime.datetime.now" in messages   # datetime constructor
+    assert "unseeded randomness random.random" in messages
+    assert "alias 'now'" in messages             # assignment alias, at the call
+    assert all(f.path == "bad.py" for f in report.findings)
+
+
+def test_wallclock_good_fixture_passes():
+    report = run_fixture("wallclock", "no-wallclock")
+    assert by_path(report, "good.py") == []
+
+
+# -- registry-drift -------------------------------------------------------------
+
+
+def registry_config():
+    return AnalyzerConfig(
+        obs_registry={
+            "SPAN_CHECKPOINT": "sls.checkpoint",
+            "COUNTER_UNUSED": "objstore.unused_total",
+            "COUNTER_RESERVED": "objstore.reserved_total",
+        },
+        fault_registry={"FP_DEMO_WRITE": "demo.write"},
+    )
+
+
+def test_registry_drift_bad_fixture_fails():
+    report = run_fixture("registry", "registry-drift", registry_config())
+    bad = by_path(report, "repro/store_bad.py")
+    messages = "\n".join(f.message for f in bad)
+    assert "inline instrument name 'sls.checkpoint'" in messages
+    assert "duplicates a catalogue name" in messages
+
+
+def test_registry_drift_reports_unreferenced_constant():
+    report = run_fixture("registry", "registry-drift", registry_config())
+    unref = [f for f in report.findings if "never referenced" in f.message]
+    assert [f.symbol for f in unref] == ["COUNTER_UNUSED"]
+
+
+def test_registry_drift_inline_suppression():
+    report = run_fixture("registry", "registry-drift", registry_config())
+    assert [f.symbol for f in report.inline_suppressed] == ["COUNTER_RESERVED"]
+
+
+def test_registry_drift_good_fixture_passes():
+    report = run_fixture("registry", "registry-drift", registry_config())
+    assert by_path(report, "repro/store_good.py") == []
+
+
+# -- crash-ordering -------------------------------------------------------------
+
+
+def test_crash_ordering_bad_fixture_fails():
+    report = run_fixture("crash", "crash-ordering")
+    bad = by_path(report, "repro/objstore/bad.py")
+    messages = "\n".join(f.message for f in bad)
+    assert "superblock write reachable with batched records" in messages
+    assert "no registered failpoint" in messages
+    assert "bypasses the Volume layer" in messages
+    assert len(bad) == 3
+
+
+def test_crash_ordering_good_fixture_passes():
+    report = run_fixture("crash", "crash-ordering")
+    assert by_path(report, "repro/objstore/good.py") == []
+
+
+def test_crash_ordering_adapter_is_exempt():
+    # block.py's raw device write is covered by the device-level
+    # failpoints inside StorageDevice, not store-level ones.
+    report = run_fixture("crash", "crash-ordering")
+    assert by_path(report, "repro/objstore/block.py") == []
+
+
+# -- kwonly-api -----------------------------------------------------------------
+
+
+def test_kwonly_bad_fixture_fails():
+    report = run_fixture("kwonly", "kwonly-api")
+    bad = by_path(report, "repro/core/api.py")
+    messages = "\n".join(f.message for f in bad)
+    assert "flag parameter sync=True" in messages
+    assert "'options' of restore() must be keyword-only" in messages
+    assert "**kwargs" in messages
+    assert len(bad) == 3
+
+
+def test_kwonly_good_fixture_passes():
+    # keyword-only flags, a legacy* shim, and a pure delegate all pass
+    report = run_fixture("kwonly", "kwonly-api")
+    assert by_path(report, "repro/core/orchestrator.py") == []
+
+
+# -- unit-suffix ----------------------------------------------------------------
+
+
+def test_unit_suffix_bad_fixture_fails():
+    report = run_fixture("units", "unit-suffix")
+    bad = by_path(report, "bad.py")
+    messages = "\n".join(f.message for f in bad)
+    assert "magic literal 30000" in messages
+    assert "magic literal 4096" in messages   # folded from 4 * 1024
+    assert "assigned directly from size name 'chunk_bytes'" in messages
+    assert len(bad) == 3
+
+
+def test_unit_suffix_good_fixture_passes():
+    # units products, identity literals, and calibration floats pass
+    report = run_fixture("units", "unit-suffix")
+    assert by_path(report, "good.py") == []
+
+
+# -- engine ----------------------------------------------------------------------
+
+
+def test_fingerprint_ignores_line_numbers():
+    a = Finding(rule="r", path="p.py", line=3, col=0, message="m", symbol="f")
+    b = Finding(rule="r", path="p.py", line=99, col=4, message="m", symbol="f")
+    assert a.fingerprint == b.fingerprint
+    c = Finding(rule="r", path="p.py", line=3, col=0, message="m2", symbol="f")
+    assert a.fingerprint != c.fingerprint
+
+
+def test_unknown_rule_name_rejected():
+    with pytest.raises(ValueError, match="unknown rule"):
+        make_rules(["no-such-rule"])

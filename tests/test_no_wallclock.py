@@ -2,34 +2,37 @@
 
 Everything is keyed to the simulated clock (``sim/clock.py``); a stray
 ``time.time()`` would leak host timing into results and break both
-determinism and the observability layer's zero-cost guarantee.  CI
-runs the same check as a grep step.
+determinism and the observability layer's zero-cost guarantee.
+
+The check *is* the analyzer's ``no-wallclock`` rule (see ANALYSIS.md):
+this test, the ``sls lint`` CLI, and the CI ``lint-invariants`` job
+all call :func:`repro.analysis.cli.lint_tree`, so the three can never
+disagree.  Unlike the old regex mirror, the rule resolves import
+aliases — ``from time import time as now`` and ``t = time.time;
+t()`` are both findings.
 """
 
 from __future__ import annotations
 
-import re
 from pathlib import Path
 
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+from repro.analysis.cli import lint_tree
 
-#: wall-clock reads that must never appear in simulated-kernel code
-FORBIDDEN = re.compile(
-    r"\btime\.(time|monotonic|perf_counter|process_time)\s*\("
-    r"|\bdatetime\.(now|today|utcnow)\s*\("
-    r"|\bfrom time import\b"
-)
+SRC = Path(__file__).resolve().parent.parent / "src"
 
 
 def test_no_wall_clock_reads_in_src():
-    offenders = []
-    for path in sorted(SRC.rglob("*.py")):
-        for lineno, line in enumerate(
-            path.read_text().splitlines(), start=1
-        ):
-            if FORBIDDEN.search(line):
-                offenders.append(f"{path.relative_to(SRC.parent.parent)}:{lineno}: {line.strip()}")
+    report = lint_tree(SRC, ["no-wallclock"])
+    offenders = [f.render() for f in report.findings]
     assert not offenders, (
         "wall-clock usage in simulated-kernel code (use SimClock):\n"
         + "\n".join(offenders)
     )
+
+
+def test_rule_scans_the_whole_tree():
+    # A regression guard for the guard: if ProjectTree ever stops
+    # finding the sources, the test above would pass vacuously.
+    report = lint_tree(SRC, ["no-wallclock"])
+    assert report.modules_scanned > 50
+    assert report.rules_run == ["no-wallclock"]
