@@ -15,7 +15,16 @@ halves:
    typestate pass, in the spirit of SquirrelFS), and reports any
    superblock write reachable with a batched record still unflushed.
 
-2. **failpoint coverage** — every raw volume/device write call site in
+2. **cross-queue barrier** — per-queue FIFO is not enough once the
+   batch flush shards records over multiple submission queues: the
+   superblock's ordering guarantee must be explicit.  Every
+   ``write_superblock`` call site in the store layer therefore has to
+   pass a ``release_ns=`` barrier (the device's pending deadline — the
+   max completion time across *all* queues), proving the superblock
+   starts only after every shard's records.  Passing a literal ``None``
+   defeats the barrier and is a finding.
+
+3. **failpoint coverage** — every raw volume/device write call site in
    :mod:`repro.objstore` sits in a function that fires a registered
    failpoint (an imported ``FP_*`` constant) *before* the write, so
    the crash sweep can power-cut at every store-level durability
@@ -96,6 +105,8 @@ class _FunctionFacts:
         self.calls: List[Tuple[int, int, str]] = []
         #: raw write call sites: [(lineno, col, kind, attr)]
         self.raw_writes: List[Tuple[int, int, str, str]] = []
+        #: superblock call sites: [(lineno, col, has_release_barrier)]
+        self.superblock_calls: List[Tuple[int, int, bool]] = []
         self._collect()
         self.effects.sort(key=lambda e: (e[0], e[1]))
         self.calls.sort()
@@ -135,6 +146,9 @@ class _FunctionFacts:
                 elif name == "write_superblock":
                     self.effects.append(where + (SUPER, name))
                     self.raw_writes.append(where + ("volume", name))
+                    self.superblock_calls.append(
+                        where + (self._has_release_barrier(node),)
+                    )
                 elif name in ("fire", "_fire") and _fires_failpoint_constant(node):
                     self.effects.append(where + (FIRE, name))
                 elif name in VOLUME_WRITES:
@@ -145,6 +159,16 @@ class _FunctionFacts:
                     self.raw_writes.append(where + ("device", name))
                 else:
                     self.calls.append(where + (name,))
+
+    @staticmethod
+    def _has_release_barrier(node: ast.Call) -> bool:
+        """Whether a ``write_superblock`` call passes a real
+        ``release_ns=`` barrier (a literal ``None`` does not count)."""
+        for keyword in node.keywords:
+            if keyword.arg == "release_ns":
+                return not (isinstance(keyword.value, ast.Constant)
+                            and keyword.value.value is None)
+        return False
 
     @staticmethod
     def _batched(node: ast.Call) -> bool:
@@ -160,8 +184,9 @@ class _FunctionFacts:
 class CrashOrderingRule(Rule):
     name = "crash-ordering"
     summary = (
-        "superblock writes flush the open batch first; every raw "
-        "objstore write site sits under a registered failpoint"
+        "superblock writes flush the open batch first and carry a "
+        "release_ns barrier over all flush shards; every raw objstore "
+        "write site sits under a registered failpoint"
     )
 
     def check(self, tree: ProjectTree) -> List[Finding]:
@@ -188,6 +213,7 @@ class CrashOrderingRule(Rule):
             )
             if not adapter:
                 findings.extend(self._check_coverage(mod, fact))
+                findings.extend(self._check_barrier(mod, fact))
         return findings
 
     # -- superblock-after-records ------------------------------------------------
@@ -261,6 +287,33 @@ class CrashOrderingRule(Rule):
                         symbol=fact.qualname,
                     ))
                     pending_since = None  # one report per unflushed run
+        return findings
+
+    # -- cross-queue barrier -------------------------------------------------------
+
+    def _check_barrier(self, mod, fact: _FunctionFacts) -> List[Finding]:
+        """Store-layer ``write_superblock`` calls must pass a real
+        ``release_ns=`` barrier: per-queue FIFO cannot order the
+        superblock after records a sharded flush submitted on *other*
+        queues, so the all-shard completion barrier has to be explicit
+        at every call site."""
+        findings: List[Finding] = []
+        for line, col, has_barrier in fact.superblock_calls:
+            if has_barrier:
+                continue
+            findings.append(Finding(
+                rule=self.name,
+                path=mod.relpath,
+                line=line,
+                col=col,
+                message=(
+                    "write_superblock() without a release_ns= barrier: "
+                    "FIFO durability holds only per submission queue, so "
+                    "pass release_ns=device.pending_deadline() to order "
+                    "the superblock after every shard's records"
+                ),
+                symbol=fact.qualname,
+            ))
         return findings
 
     # -- failpoint coverage --------------------------------------------------------

@@ -12,15 +12,20 @@ dirty working set is flushed through the legacy one-command-per-record
 path and the coalescing :class:`~repro.objstore.store.WriteBatch`
 path, across NVMe queue depths.  The suite reports flush latency,
 doorbells, and submit stalls per cell, plus the batched/unbatched
-speedup at each depth (scaled ×1000 to stay integer).  See
-BENCHMARKS.md for the baseline-refresh procedure.
+speedup at each depth (scaled ×1000 to stay integer).  The
+``multiqueue_flush`` scenario sweeps the queue *count* at fixed depth:
+the sharded batch flush spreads a checkpoint's records over all
+submission queues, and the nq4-vs-nq1 flush-lag speedup is a gated
+cell.  See BENCHMARKS.md for the baseline-refresh procedure.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 from typing import Optional
 
+from repro.core import checkpoint
 from repro.core.backends import DiskBackend
 from repro.core.orchestrator import SLS
 from repro.core.restore import load_image_from_store
@@ -29,11 +34,12 @@ from repro.hw.specs import OPTANE_900P, with_queue_model
 from repro.obs import names as obs_names
 from repro.objstore.store import ObjectStore
 from repro.posix.kernel import Kernel
+from repro.posix.objects import KernelObject
 from repro.posix.syscalls import Syscalls
 from repro.units import GIB, PAGE_SIZE
 
 #: bump when scenario shape changes incompatibly (forces a baseline refresh)
-SUITE_VERSION = 2
+SUITE_VERSION = 3
 
 #: distinct-content dirty pages flushed per checkpoint
 PAGES = 512
@@ -41,13 +47,16 @@ PAGES = 512
 #: queue depths the flush scenario sweeps (0 = legacy unbounded model)
 QUEUE_DEPTHS = (1, 8, 16)
 
+#: queue counts the multi-queue scenario sweeps (at fixed depth 8)
+NUM_QUEUES = (1, 2, 4)
 
-def _boot(queue_depth: int, batched: bool):
+
+def _boot(queue_depth: int, batched: bool, num_queues: int = 1):
     """One fresh machine + group + disk backend for one bench cell."""
     kernel = Kernel(hostname="bench", memory_bytes=2 * GIB)
     spec = (
-        with_queue_model(OPTANE_900P, queue_depth)
-        if queue_depth > 0
+        with_queue_model(OPTANE_900P, queue_depth, num_queues=num_queues)
+        if queue_depth > 0 or num_queues > 1
         else OPTANE_900P
     )
     device = NvmeDevice(kernel.clock, spec=spec, name="bench-nvme")
@@ -66,9 +75,12 @@ def _boot(queue_depth: int, batched: bool):
     return kernel, sls, sysc, group, backend, heap
 
 
-def _checkpoint_flush_cell(queue_depth: int, batched: bool) -> dict:
+def _checkpoint_flush_cell(queue_depth: int, batched: bool,
+                           num_queues: int = 1) -> dict:
     """Flush ``PAGES`` distinct pages through one full checkpoint."""
-    kernel, sls, sysc, group, backend, heap = _boot(queue_depth, batched)
+    kernel, sls, sysc, group, backend, heap = _boot(
+        queue_depth, batched, num_queues=num_queues
+    )
     image = sls.checkpoint(group, name="bench-full")
     sls.barrier(group)
     info = image.flush_info["disk0"]
@@ -89,6 +101,7 @@ def _checkpoint_flush_cell(queue_depth: int, batched: bool) -> dict:
         "doorbells": int(info.doorbells),
         "records": int(info.records),
         "extents": int(info.extents),
+        "shards": int(info.shards),
         "submit_stall_ns": int(info.submit_stall_ns),
         "incr_flush_lag_ns": int(incr.metrics.flush_lag_ns),
         "incr_doorbells": int(incr_info.doorbells),
@@ -143,8 +156,8 @@ def _restore_cell() -> dict:
     }
 
 
-def run_suite() -> dict:
-    """Run every scenario; returns the deterministic result tree."""
+def _flush_grid() -> tuple[dict, dict]:
+    """batched × unbatched over queue depths, plus speedup leaves."""
     flush: dict[str, dict] = {}
     for queue_depth in QUEUE_DEPTHS:
         for batched in (False, True):
@@ -159,17 +172,87 @@ def run_suite() -> dict:
         derived[f"speedup_qd{queue_depth}_x1000"] = (
             base * 1000 // new if new else 0
         )
-    return {
+    return flush, derived
+
+
+def _multiqueue_grid() -> tuple[dict, dict]:
+    """Batched flush over queue counts at fixed depth 8: the sharded
+    parallel flush against its own single-queue shape.  The nq-vs-nq1
+    flush-lag speedups are the gated leaves (``speedup_`` prefix)."""
+    cells = {
+        f"nq{num_queues}_qd8": _checkpoint_flush_cell(
+            8, batched=True, num_queues=num_queues
+        )
+        for num_queues in NUM_QUEUES
+    }
+    base = cells["nq1_qd8"]["flush_lag_ns"]
+    derived = {
+        f"speedup_nq{num_queues}_x1000": (
+            base * 1000 // cells[f"nq{num_queues}_qd8"]["flush_lag_ns"]
+            if cells[f"nq{num_queues}_qd8"]["flush_lag_ns"] else 0
+        )
+        for num_queues in NUM_QUEUES
+        if num_queues > 1
+    }
+    return cells, derived
+
+
+#: scenario name -> callable returning (cells, derived-leaves)
+SCENARIOS = {
+    "checkpoint_flush": _flush_grid,
+    "multiqueue_flush": _multiqueue_grid,
+    "pipeline": lambda: (_pipeline_cell(), {}),
+    "restore": lambda: (_restore_cell(), {}),
+}
+
+
+def run_suite(only: Optional[str] = None) -> dict:
+    """Run every scenario (or just ``only``); deterministic result tree.
+
+    ``only`` runs a single cell grid for local iteration; the partial
+    tree it produces must not be compared against the full-suite
+    baseline (the CLI rejects ``--only`` + ``--compare``).
+    """
+    if only is not None and only not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {only!r} (have: {', '.join(sorted(SCENARIOS))})"
+        )
+    # Hermetic ids: checkpoint metadata varint-encodes kernel-object
+    # ids (pagemap deltas) and image ids (manifest record refs), so
+    # payload sizes — and therefore flush timings — would otherwise
+    # depend on how many objects/images this *process* had already
+    # created (an id crossing a 7-bit varint boundary between two runs
+    # shifts every flush lag by a byte's transfer time).  Pin both
+    # counters for the suite and restore them afterwards.
+    saved_koids = KernelObject._koid_counter
+    saved_image_ids = checkpoint._image_ids
+    KernelObject._koid_counter = itertools.count(1)
+    checkpoint._image_ids = itertools.count(1)
+    try:
+        return _run_scenarios(only)
+    finally:
+        KernelObject._koid_counter = saved_koids
+        checkpoint._image_ids = saved_image_ids
+
+
+def _run_scenarios(only: Optional[str]) -> dict:
+    results: dict = {
         "meta": {
             "suite_version": SUITE_VERSION,
             "pages": PAGES,
             "queue_depths": list(QUEUE_DEPTHS),
+            "num_queues": list(NUM_QUEUES),
         },
-        "checkpoint_flush": flush,
-        "pipeline": _pipeline_cell(),
-        "restore": _restore_cell(),
-        "derived": derived,
     }
+    derived: dict = {}
+    for name, scenario in SCENARIOS.items():
+        if only is not None and name != only:
+            continue
+        cells, leaves = scenario()
+        results[name] = cells
+        derived.update(leaves)
+    results["derived"] = derived
+    return results
 
 
 def to_json(results: dict) -> str:

@@ -161,6 +161,14 @@ def cmd_crashtest(args) -> int:
 
     report = run_sweep(seed=args.seed, stride=args.stride)
     print(report.summary())
+    if args.expect_points is not None and len(report.crash_points) != args.expect_points:
+        print(
+            f"crash-point count {len(report.crash_points)} != expected "
+            f"{args.expect_points}: a crash site was silently added or "
+            f"dropped — re-count the sweep and update the CI pin",
+            file=sys.stderr,
+        )
+        return 1
     if args.json:
         with open(args.json, "w") as handle:
             for point in report.points:
@@ -180,7 +188,16 @@ def cmd_crashtest(args) -> int:
 def cmd_bench(args) -> int:
     from repro.cli.bench import compare, run_suite, to_json
 
-    results = run_suite()
+    if args.only and args.compare:
+        print("--only runs a partial suite; it cannot be compared against "
+              "the full-suite baseline (drop one of --only/--compare)",
+              file=sys.stderr)
+        return 2
+    try:
+        results = run_suite(only=args.only)
+    except KeyError as exc:
+        print(f"sls bench: {exc.args[0]}", file=sys.stderr)
+        return 2
     rendered = to_json(results)
     if args.json:
         with open(args.json, "w") as handle:
@@ -213,6 +230,10 @@ def cmd_stats(args) -> int:
         shown += 1
         print(f"== kernel {kobs.label or '?'} ==")
         print(obs.render_registry(kobs.registry))
+        utilization = obs.render_device_utilization(kobs.registry)
+        if utilization is not None:
+            print("-- device utilization --")
+            print(utilization)
     if not shown:
         print("no instruments registered (did the target boot a kernel?)")
         return 1
@@ -254,6 +275,9 @@ def main(argv=None) -> int:
                        help="subsample the device-write sweep by this step")
     crash.add_argument("--json", metavar="PATH", default=None,
                        help="also export crash points as JSON lines")
+    crash.add_argument("--expect-points", type=int, default=None,
+                       help="fail unless the sweep visits exactly this many "
+                            "crash points (CI pin against dropped sites)")
     bench = sub.add_parser(
         "bench",
         help="run the pinned virtual-clock benchmark suite (deterministic)",
@@ -264,6 +288,9 @@ def main(argv=None) -> int:
                        help="diff against a baseline JSON; exit 1 on regression")
     bench.add_argument("--tolerance", type=float, default=0.05,
                        help="relative slack for the comparison (default 0.05)")
+    bench.add_argument("--only", metavar="SCENARIO", default=None,
+                       help="run a single scenario's cell grid "
+                            "(local iteration; full suite is the CI default)")
     from repro.analysis.cli import add_lint_parser
 
     add_lint_parser(sub)

@@ -187,9 +187,11 @@ class StoreBackend(Backend):
             doorbells=device_stats.doorbells - doorbells_before,
             nbytes=batch.bytes_flushed if batched else snapshot.delta_bytes,
             submit_stall_ns=device_stats.submit_stall_ns - stall_before,
+            shards=batch.shards_flushed if batched else 1,
         )
         image.metrics.bytes_flushed += snapshot.delta_bytes
         self._count_flushed(snapshot.delta_bytes)
+        self._publish_queue_utilization()
         # Durable once the device has drained everything just queued.
         deadline = self.store.device.pending_deadline()
         name = self.name
@@ -199,6 +201,25 @@ class StoreBackend(Backend):
             self.kernel.events.schedule(
                 deadline, lambda: image.mark_durable(name, deadline)
             )
+
+    def _publish_queue_utilization(self) -> None:
+        """Refresh the per-queue channel-utilization gauges.
+
+        Utilization is cumulative over the run (busy_ns over elapsed
+        virtual time, as integer permille), one gauge sample per
+        submission queue — `sls stats` renders them as a device
+        utilization table.
+        """
+        if self.kernel is None:
+            return
+        device = self.store.device
+        window_ns = self.kernel.clock.now
+        registry = self.kernel.obs.registry
+        for queue in range(device.num_queues):
+            registry.gauge(
+                obs_names.G_DEVICE_QUEUE_UTIL,
+                device=device.name, queue=str(queue),
+            ).set(device.queue_utilization_permille(queue, window_ns))
 
     def delete_image(self, image: CheckpointImage) -> None:
         snapshot = image.snapshots.pop(self.name, None)

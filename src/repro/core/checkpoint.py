@@ -24,6 +24,12 @@ from repro.units import PAGE_SIZE
 #: oid -> {pindex -> PageRef | Page}
 PageMap = dict[int, dict[int, object]]
 
+#: global image-id allocator.  The id is varint-encoded into snapshot
+#: manifests, so its byte width leaks into flush timings — hermetic
+#: harnesses (sls bench) pin this around a run to keep the numbers
+#: independent of how many images the process already created.
+_image_ids = itertools.count(1)
+
 
 @dataclass(frozen=True)
 class FlushInfo:
@@ -45,6 +51,8 @@ class FlushInfo:
     nbytes: int
     #: ns the submitter stalled on a full device queue
     submit_stall_ns: int
+    #: flush shards (= submission queues) the batch spread over
+    shards: int = 1
 
 
 @dataclass
@@ -77,7 +85,9 @@ class CheckpointImage:
     #: durability: ``hook(backend_name, when_ns)`` (repro.obs flush-lag
     #: telemetry; None when the host kernel has no interest)
     backend_durable_hook: Optional[Callable[[str, int], None]] = None
-    image_id: int = field(default_factory=itertools.count(1).__next__)
+    #: process-global id; read through the module global so a hermetic
+    #: harness (sls bench) can pin and restore the counter
+    image_id: int = field(default_factory=lambda: next(_image_ids))
 
     # -- durability -------------------------------------------------------
 

@@ -60,6 +60,7 @@ SWEEP_SITES = (
     fault_names.FP_DEVICE_WRITE,
     fault_names.FP_DEVICE_BATCH,
     fault_names.FP_STORE_BATCH_FLUSH,
+    fault_names.FP_STORE_SHARD_FLUSH,
     fault_names.FP_STORE_COMMIT,
     fault_names.FP_LOG_APPEND,
     fault_names.FP_GC_COLLECT,
@@ -149,7 +150,12 @@ class SweepReport:
 def _boot(seed: int) -> tuple[Kernel, NvmeDevice]:
     kernel = Kernel(hostname="crashtest", memory_bytes=1 * GIB)
     kernel.faults = FailpointRegistry(clock=kernel.clock, seed=seed)
-    device = NvmeDevice(kernel.clock, name="crash-nvme")
+    # Multi-queue with a bounded in-flight window: the workload's
+    # checkpoints flush through the sharded parallel path, so the
+    # sweep power-cuts between shard submissions and the recovery
+    # oracles prove the superblock barrier holds across queues.
+    device = NvmeDevice(kernel.clock, name="crash-nvme",
+                        queue_depth=8, num_queues=4)
     return kernel, device
 
 
@@ -160,8 +166,9 @@ def _record_superblocks(state: WorkloadState, store: ObjectStore) -> None:
     volume = store.volume
     original = volume.write_superblock
 
-    def recording(payload_value: bytes, sync: bool = False):
-        ticket = original(payload_value, sync=sync)
+    def recording(payload_value: bytes, sync: bool = False,
+                  release_ns: int | None = None):
+        ticket = original(payload_value, sync=sync, release_ns=release_ns)
         directory = SnapshotDirectory.decode(decode(payload_value))
         state.history[volume.generation] = sorted(
             s.name for s in directory.snapshots.values()

@@ -27,6 +27,7 @@ FP_DEVICE_FLUSH = "device.flush_barrier"
 
 FP_STORE_WRITE_RECORD = "objstore.write_record"
 FP_STORE_BATCH_FLUSH = "objstore.batch.flush"
+FP_STORE_SHARD_FLUSH = "objstore.batch.shard_flush"
 FP_STORE_COMMIT = "objstore.commit_snapshot"
 FP_STORE_DELETE = "objstore.delete_snapshot"
 FP_STORE_ALLOC = "objstore.alloc"

@@ -37,6 +37,26 @@ _BLOCK = 4096
 
 
 @dataclass
+class QueueIoStats:
+    """Per-submission-queue counters (multi-queue devices).
+
+    The flat :class:`IoStats` totals stay authoritative for the device
+    as a whole; these break the same quantities down per queue so the
+    benchmark harness and the utilization gauges can see how evenly a
+    sharded flush spread its load.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    #: ns this queue's channel spent transferring (utilization numerator)
+    busy_ns: int = 0
+    doorbells: int = 0
+    #: ns submitters stalled waiting for a slot on this queue
+    submit_stall_ns: int = 0
+    bytes_written: int = 0
+
+
+@dataclass
 class IoStats:
     """Cumulative I/O counters for one device."""
 
@@ -52,6 +72,8 @@ class IoStats:
     batched_writes: int = 0
     #: ns the submitter stalled waiting for a free queue slot
     submit_stall_ns: int = 0
+    #: per-queue breakdown, index = queue id (see QueueIoStats)
+    queues: list[QueueIoStats] = field(default_factory=list)
 
 
 @dataclass
@@ -93,12 +115,17 @@ class StorageDevice:
         self.spec = spec
         self.clock = clock
         self.name = name or spec.name
-        self.stats = IoStats()
+        nq = max(1, spec.num_queues)
+        self.num_queues = nq
+        self.stats = IoStats(queues=[QueueIoStats() for _ in range(nq)])
         self._blocks: dict[int, bytearray] = {}
         self._pending: list[_PendingWrite] = []
-        self._busy_until = 0
-        #: completion times of commands in flight (queue-depth model)
-        self._inflight: list[int] = []
+        #: per-queue channel serialization point (each submission
+        #: queue is serviced as an independent channel)
+        self._busy_until = [0] * nq
+        #: per-queue completion times of commands in flight
+        #: (queue-depth model bounds each queue independently)
+        self._inflight: list[list[int]] = [[] for _ in range(nq)]
         self._used = 0
         self._failed = False
         #: error injection: fail the next N operations
@@ -143,7 +170,14 @@ class StorageDevice:
 
     # -- cost model ------------------------------------------------------
 
-    def _ring_doorbell(self) -> None:
+    def _check_queue(self, queue: int) -> None:
+        if not 0 <= queue < self.num_queues:
+            raise DeviceIOError(
+                f"{self.name}: queue {queue} out of range "
+                f"(device has {self.num_queues})"
+            )
+
+    def _ring_doorbell(self, queue: int = 0) -> None:
         """Charge the host-side submission cost for one doorbell.
 
         The submitting thread pays it synchronously (the clock moves),
@@ -151,44 +185,60 @@ class StorageDevice:
         carry many commands.
         """
         self.stats.doorbells += 1
+        self.stats.queues[queue].doorbells += 1
         if self.spec.submit_cost_ns:
             self.clock.advance(self.spec.submit_cost_ns)
 
-    def _wait_for_queue_slot(self) -> None:
-        """Stall the submitter until the queue has a free slot.
+    def _wait_for_queue_slot(self, queue: int = 0) -> None:
+        """Stall the submitter until ``queue`` has a free slot.
 
         With ``spec.queue_depth == 0`` the queue is unbounded and this
         is free.  Otherwise commands inside the limit overlap their
         media latencies and a full queue throttles the submitter to
-        the device's completion rate.
+        the device's completion rate.  Each submission queue has its
+        own in-flight window.
         """
         qd = self.spec.queue_depth
         if qd <= 0:
             return
         now = self.clock.now
-        inflight = sorted(c for c in self._inflight if c > now)
+        inflight = sorted(c for c in self._inflight[queue] if c > now)
         if len(inflight) >= qd:
             free_at = inflight[len(inflight) - qd]
             self.stats.submit_stall_ns += free_at - now
+            self.stats.queues[queue].submit_stall_ns += free_at - now
             self.clock.advance_to(free_at)
-        self._inflight = [c for c in self._inflight if c > self.clock.now]
+        self._inflight[queue] = [
+            c for c in self._inflight[queue] if c > self.clock.now
+        ]
 
-    def _occupy(self, nbytes: int, latency_ns: int, bandwidth: float) -> IoTicket:
-        """Reserve device time for one command and return its ticket.
+    def _occupy(self, nbytes: int, latency_ns: int, bandwidth: float,
+                queue: int = 0, release_ns: int | None = None) -> IoTicket:
+        """Reserve channel time for one command and return its ticket.
 
-        The channel serializes transfer time plus the per-command
-        processing overhead; the fixed access latency overlaps across
-        in-flight commands (bounded by the queue depth, enforced by
-        :meth:`_wait_for_queue_slot` before this runs).
+        Each queue's channel serializes transfer time plus the
+        per-command processing overhead; the fixed access latency
+        overlaps across in-flight commands (bounded per queue by the
+        queue depth, enforced by :meth:`_wait_for_queue_slot` before
+        this runs).  Commands on *different* queues overlap fully —
+        that is the multi-queue parallelism the sharded checkpoint
+        flush exploits.
+
+        ``release_ns`` is an ordering barrier: the command does not
+        start before that virtual time, modelling a flush+write pair
+        queued behind earlier completions (the superblock write uses
+        it to stay after every shard's records without blocking the
+        submitter).
         """
         issued = self.clock.now
-        start = max(issued, self._busy_until)
+        start = max(issued, self._busy_until[queue], release_ns or 0)
         xfer = transfer_ns(nbytes, bandwidth) + self.spec.command_overhead_ns
         completes = start + latency_ns + xfer
-        self._busy_until = start + xfer
+        self._busy_until[queue] = start + xfer
         self.stats.busy_ns += xfer
+        self.stats.queues[queue].busy_ns += xfer
         if self.spec.queue_depth > 0:
-            self._inflight.append(completes)
+            self._inflight[queue].append(completes)
         return IoTicket(issued_at=issued, completes_at=completes)
 
     def _check_fault(self) -> None:
@@ -231,13 +281,31 @@ class StorageDevice:
 
     # -- public I/O ------------------------------------------------------
 
-    def read(self, offset: int, nbytes: int, logical_nbytes: int | None = None) -> bytes:
+    def read(self, offset: int, nbytes: int, logical_nbytes: int | None = None,
+             queue: int = 0) -> bytes:
         """Synchronous read; advances the clock to completion.
 
         ``logical_nbytes`` inflates the *time* charged without changing
         the bytes returned: the simulation stores page payloads
         compactly but their on-media size is a full page.
         """
+        ticket, data = self.read_async(
+            offset, nbytes, logical_nbytes=logical_nbytes, queue=queue
+        )
+        self.clock.advance_to(ticket.completes_at)
+        return data
+
+    def read_async(self, offset: int, nbytes: int,
+                   logical_nbytes: int | None = None,
+                   queue: int = 0) -> tuple[IoTicket, bytes]:
+        """Queue a read on ``queue``; returns (ticket, data) without
+        advancing the clock past the submission costs.
+
+        The restore path fans coalesced runs out across queues this
+        way: it submits every run, then advances once to the max
+        completion — reads on distinct queues overlap their transfers.
+        """
+        self._check_queue(queue)
         self._check_fault()
         action = self._fire(fault_names.FP_DEVICE_READ, nbytes=nbytes)
         if action is not None and action.kind == "fail":
@@ -246,25 +314,32 @@ class StorageDevice:
             )
         if nbytes < 0 or offset < 0:
             raise DeviceIOError("negative read extent")
-        self._ring_doorbell()
-        self._wait_for_queue_slot()
+        self._ring_doorbell(queue)
+        self._wait_for_queue_slot(queue)
         ticket = self._occupy(
             max(nbytes, logical_nbytes or 0),
             self.spec.read_latency_ns,
             self.spec.read_bandwidth,
+            queue=queue,
         )
-        self.clock.advance_to(ticket.completes_at)
         self.stats.reads += 1
+        self.stats.queues[queue].reads += 1
         self.stats.bytes_read += nbytes
-        return self._load(offset, nbytes)
+        return ticket, self._load(offset, nbytes)
 
-    def write(self, offset: int, data: bytes, logical_nbytes: int | None = None) -> IoTicket:
+    def write(self, offset: int, data: bytes, logical_nbytes: int | None = None,
+              queue: int = 0, release_ns: int | None = None) -> IoTicket:
         """Synchronous write; advances the clock to durability."""
-        ticket = self.write_async(offset, data, logical_nbytes=logical_nbytes)
+        ticket = self.write_async(
+            offset, data, logical_nbytes=logical_nbytes,
+            queue=queue, release_ns=release_ns,
+        )
         self.clock.advance_to(ticket.completes_at)
         return ticket
 
-    def write_async(self, offset: int, data: bytes, logical_nbytes: int | None = None) -> IoTicket:
+    def write_async(self, offset: int, data: bytes,
+                    logical_nbytes: int | None = None,
+                    queue: int = 0, release_ns: int | None = None) -> IoTicket:
         """Queue a write; returns its ticket without advancing the clock
         (except for the submission model's doorbell cost and queue-slot
         stalls, when the spec arms them).
@@ -273,49 +348,67 @@ class StorageDevice:
         buffer) but is only *durable* — i.e. survives :meth:`crash` —
         once the clock passes ``ticket.completes_at``.
 
+        ``queue`` selects the submission queue (multi-queue devices
+        service each as an independent channel).  ``release_ns`` is an
+        ordering barrier: the command starts no earlier than that
+        virtual time, which is how the superblock stays ordered after
+        records submitted on *other* queues.
+
         Failpoint ``device.write`` fires before the media changes:
         ``crash`` unwinds (the write never happened), ``fail`` raises,
         ``torn`` lands only a prefix of the payload, and ``drop``
         acknowledges the write without touching the media at all.
         """
+        self._check_queue(queue)
         self._check_fault()
-        self._ring_doorbell()
-        return self._submit_write(offset, data, logical_nbytes)
+        self._ring_doorbell(queue)
+        return self._submit_write(offset, data, logical_nbytes,
+                                  queue=queue, release_ns=release_ns)
 
-    def write_batch(self, writes: Sequence[BatchWrite]) -> list[IoTicket]:
-        """Submit several writes with one doorbell.
+    def write_batch(self, writes: Sequence[BatchWrite],
+                    queue: int = 0) -> list[IoTicket]:
+        """Submit several writes with one doorbell on ``queue``.
 
         The host-side submission cost is charged once for the whole
         batch; each element is still one device command — it fires the
         per-write failpoint, gets its own ticket, and occupies the
-        channel for its transfer — so up to ``spec.queue_depth``
-        commands overlap their latencies.  Commands complete in
-        submission order (constant write latency), preserving the FIFO
-        durability the object store's crash invariant relies on.
+        queue's channel for its transfer — so up to ``spec.queue_depth``
+        commands overlap their latencies.  Within one queue commands
+        complete in submission order (constant write latency),
+        preserving per-queue FIFO durability; ordering *across* queues
+        is the caller's job (the object store barriers the superblock
+        on every shard's completion with ``release_ns``).
 
         Failpoint ``device.write_batch`` fires once per doorbell,
         before any member command touches the media: a ``crash`` there
         is a power cut on the batch boundary.
         """
+        self._check_queue(queue)
         self._check_fault()
-        action = self._fire(fault_names.FP_DEVICE_BATCH, commands=len(writes))
+        action = self._fire(
+            fault_names.FP_DEVICE_BATCH, commands=len(writes), queue=queue
+        )
         if action is not None and action.kind == "fail":
             raise DeviceIOError(
                 f"{self.name}: {action.reason or 'injected batch-write failure'}"
             )
         if not writes:
             return []
-        self._ring_doorbell()
+        self._ring_doorbell(queue)
         tickets = []
         for write in writes:
             tickets.append(
-                self._submit_write(write.offset, write.data, write.logical_nbytes)
+                self._submit_write(
+                    write.offset, write.data, write.logical_nbytes, queue=queue
+                )
             )
             self.stats.batched_writes += 1
         return tickets
 
     def _submit_write(self, offset: int, data: bytes,
-                      logical_nbytes: int | None = None) -> IoTicket:
+                      logical_nbytes: int | None = None,
+                      queue: int = 0,
+                      release_ns: int | None = None) -> IoTicket:
         """One write command: fault check, queue slot, occupy, buffer."""
         action = self._fire(fault_names.FP_DEVICE_WRITE, nbytes=len(data))
         if action is not None and action.kind == "fail":
@@ -329,11 +422,13 @@ class StorageDevice:
             raise DeviceFullError(
                 f"{self.name}: write [{offset}, {end}) exceeds capacity {self.spec.capacity}"
             )
-        self._wait_for_queue_slot()
+        self._wait_for_queue_slot(queue)
         ticket = self._occupy(
             max(len(data), logical_nbytes or 0),
             self.spec.write_latency_ns,
             self.spec.write_bandwidth,
+            queue=queue,
+            release_ns=release_ns,
         )
         if action is not None and action.kind == "torn":
             # Only a prefix reaches the media; the caller is not told.
@@ -346,7 +441,9 @@ class StorageDevice:
                 )
             )
         self.stats.writes += 1
+        self.stats.queues[queue].writes += 1
         self.stats.bytes_written += max(len(data), logical_nbytes or 0)
+        self.stats.queues[queue].bytes_written += max(len(data), logical_nbytes or 0)
         return ticket
 
     def flush_barrier(self) -> int:
@@ -399,25 +496,38 @@ class StorageDevice:
         """
         self._retire_pending()
         lost = len(self._pending)
-        self._inflight.clear()
+        for inflight in self._inflight:
+            inflight.clear()
+        self._busy_until = [self.clock.now] * self.num_queues
         if not self.spec.persistent:
             self._blocks.clear()
             self._used = 0
             self._pending.clear()
-            self._busy_until = self.clock.now
             return lost
         for pending in self._pending:
             # Tear the write: the media holds stale (zero) data again.
             self._store(pending.offset, bytes(len(pending.data)))
         self._pending.clear()
-        self._busy_until = self.clock.now
         return lost
 
     def utilization(self, window_ns: int) -> float:
-        """Fraction of ``window_ns`` the device spent transferring."""
+        """Fraction of aggregate channel time spent transferring.
+
+        Multi-queue devices have ``num_queues`` channels' worth of
+        capacity per wall-clock nanosecond, so the denominator scales
+        with the queue count.
+        """
         if window_ns <= 0:
             return 0.0
-        return min(1.0, self.stats.busy_ns / window_ns)
+        return min(1.0, self.stats.busy_ns / (window_ns * self.num_queues))
+
+    def queue_utilization_permille(self, queue: int, window_ns: int) -> int:
+        """Integer permille of ``window_ns`` that ``queue``'s channel
+        spent transferring (integer for byte-stable metric export)."""
+        self._check_queue(queue)
+        if window_ns <= 0:
+            return 0
+        return min(1000, self.stats.queues[queue].busy_ns * 1000 // window_ns)
 
     def __repr__(self) -> str:
         return f"<StorageDevice {self.name!r} used={self._used}B>"

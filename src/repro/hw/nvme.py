@@ -13,7 +13,10 @@ class NvmeDevice(StorageDevice):
     Pass ``queue_depth`` to arm the queue-depth-aware submission model
     (per-doorbell submission cost, per-command processing overhead,
     bounded in-flight overlap) on top of ``spec``; the default leaves
-    the legacy flat-latency model in place.
+    the legacy flat-latency model in place.  ``num_queues`` additionally
+    arms the multi-queue model (independent channels per submission
+    queue) and implies the submission model even without an explicit
+    ``queue_depth``.
     """
 
     def __init__(
@@ -22,7 +25,10 @@ class NvmeDevice(StorageDevice):
         spec: DeviceSpec = OPTANE_900P,
         name: str | None = None,
         queue_depth: int | None = None,
+        num_queues: int | None = None,
     ):
-        if queue_depth is not None:
-            spec = with_queue_model(spec, queue_depth)
+        if queue_depth is not None or num_queues is not None:
+            spec = with_queue_model(
+                spec, queue_depth or 0, num_queues=num_queues or 1
+            )
         super().__init__(spec=spec, clock=clock, name=name or "nvme0")

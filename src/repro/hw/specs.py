@@ -54,6 +54,12 @@ class DeviceSpec:
     #: inside the limit overlap their media latencies.  0 = unbounded
     #: (legacy behaviour: every latency overlaps).
     queue_depth: int = 0
+    #: Number of independent submission queues (NVMe multi-queue).
+    #: Each queue is serviced as its own channel: commands on distinct
+    #: queues overlap their transfers in virtual time, modelling the
+    #: plane/channel parallelism of modern flash.  1 = the classic
+    #: single-queue model.
+    num_queues: int = 1
 
 
 #: Calibration for the NVMe submission model: ~1 µs of host CPU per
@@ -70,19 +76,25 @@ def with_queue_model(
     queue_depth: int,
     submit_cost_ns: int = NVME_SUBMIT_NS,
     command_overhead_ns: int = NVME_COMMAND_OVERHEAD_NS,
+    num_queues: int = 1,
 ) -> "DeviceSpec":
     """A copy of ``spec`` with the queue-depth submission model armed.
 
-    The benchmark harness uses this to sweep queue depths; sessions
-    that want the richer model opt in per device.
+    The benchmark harness uses this to sweep queue depths and queue
+    counts; sessions that want the richer model opt in per device.
+    ``num_queues > 1`` arms the multi-queue model: each queue is an
+    independent channel whose commands overlap with the other queues'.
     """
     if queue_depth < 0:
         raise ValueError("queue depth cannot be negative")
+    if num_queues < 1:
+        raise ValueError("a device needs at least one submission queue")
     return replace(
         spec,
         queue_depth=queue_depth,
         submit_cost_ns=submit_cost_ns,
         command_overhead_ns=command_overhead_ns,
+        num_queues=num_queues,
     )
 
 

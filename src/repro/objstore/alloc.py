@@ -31,13 +31,28 @@ class Extent:
 
 
 class ExtentAllocator:
-    """First-fit allocator over [base, base+size)."""
+    """First-fit allocator over [base, base+size).
 
-    def __init__(self, base: int, size: int):
+    With ``num_shards > 1`` the range is partitioned into that many
+    contiguous *stripes*, one per device submission queue.  Allocations
+    that name a shard are carved from that shard's stripe when possible
+    (falling back to global first-fit under pressure), so a sharded
+    checkpoint flush produces per-queue runs that stay contiguous on
+    media and coalesce into few large commands.
+    """
+
+    def __init__(self, base: int, size: int, num_shards: int = 1):
         if size <= 0:
             raise ValueError("allocator size must be positive")
+        if num_shards < 1:
+            raise ValueError("allocator needs at least one shard")
         self.base = base
         self.size = size
+        self.num_shards = num_shards
+        #: stripe boundaries: shard i covers [bounds[i], bounds[i+1])
+        self._shard_bounds = [
+            base + (size * i) // num_shards for i in range(num_shards + 1)
+        ]
         #: sorted, disjoint, coalesced free list of [offset, end) pairs
         self._free: list[list[int]] = [[base, base + size]]
         self.allocated_bytes = 0
@@ -48,15 +63,30 @@ class ExtentAllocator:
     def free_bytes(self) -> int:
         return self.size - self.allocated_bytes
 
-    def allocate(self, length: int) -> Extent:
+    def shard_of(self, offset: int) -> int:
+        """Which stripe (= submission queue) ``offset`` belongs to."""
+        if offset < self.base or offset >= self.base + self.size:
+            raise ValueError(f"offset {offset} outside allocator range")
+        return bisect.bisect_right(self._shard_bounds, offset) - 1
+
+    def allocate(self, length: int, shard: int | None = None) -> Extent:
         if length <= 0:
             raise ValueError("allocation length must be positive")
+        if shard is not None and not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range ({self.num_shards})")
         if self.faults is not None:
             action = self.faults.fire(fault_names.FP_STORE_ALLOC, length=length)
             if action is not None and action.kind == "fail":
                 raise StoreFullError(
                     action.reason or f"injected allocation failure ({length} bytes)"
                 )
+        if shard is not None and self.num_shards > 1:
+            extent = self._allocate_in_stripe(length, shard)
+            if extent is not None:
+                return extent
+            # Stripe exhausted/fragmented: fall back to global first-fit
+            # — correctness never depends on stripe placement, only the
+            # flush's queue assignment (derived back via shard_of).
         for i, (start, end) in enumerate(self._free):
             if end - start >= length:
                 extent = Extent(offset=start, length=length)
@@ -69,6 +99,27 @@ class ExtentAllocator:
         raise StoreFullError(
             f"no free extent of {length} bytes ({self.free_bytes} free, fragmented)"
         )
+
+    def _allocate_in_stripe(self, length: int, shard: int) -> Optional[Extent]:
+        """First-fit restricted to ``shard``'s stripe; None if no room."""
+        lo = self._shard_bounds[shard]
+        hi = self._shard_bounds[shard + 1]
+        for i, (start, end) in enumerate(self._free):
+            if start >= hi:
+                break
+            cut = max(start, lo)
+            if min(end, hi) - cut < length:
+                continue
+            extent = Extent(offset=cut, length=length)
+            self._free.pop(i)
+            if start < cut:
+                self._free.insert(i, [start, cut])
+                i += 1
+            if cut + length < end:
+                self._free.insert(i, [cut + length, end])
+            self.allocated_bytes += length
+            return extent
+        return None
 
     def free(self, extent: Extent) -> None:
         if extent.offset < self.base or extent.end > self.base + self.size:

@@ -41,8 +41,16 @@ class Volume:
 
     # -- superblock ------------------------------------------------------------
 
-    def write_superblock(self, payload_value: bytes, sync: bool = False) -> IoTicket:
-        """Write the next-generation superblock to the inactive slot."""
+    def write_superblock(self, payload_value: bytes, sync: bool = False,
+                         release_ns: int | None = None) -> IoTicket:
+        """Write the next-generation superblock to the inactive slot.
+
+        ``release_ns`` is the cross-queue ordering barrier: the command
+        starts no earlier than that time, so passing the device's
+        pending deadline keeps the superblock durable only after every
+        record it references — on *every* submission queue.  Superblock
+        writes always go out on queue 0.
+        """
         self.generation += 1
         record = pack_record(
             kind=KIND_SUPER, oid=0, epoch=self.generation, payload=payload_value
@@ -54,8 +62,8 @@ class Volume:
         slot = self.generation % 2
         offset = slot * SUPERBLOCK_SLOT_SIZE
         if sync:
-            return self.device.write(offset, record)
-        return self.device.write_async(offset, record)
+            return self.device.write(offset, record, release_ns=release_ns)
+        return self.device.write_async(offset, record, release_ns=release_ns)
 
     def read_superblock(self) -> Optional[tuple[int, bytes]]:
         """Return (generation, payload) of the newest valid superblock."""
@@ -78,24 +86,39 @@ class Volume:
     # -- data area -------------------------------------------------------------
 
     def write_data(self, offset: int, data: bytes, sync: bool = False,
-                   logical: int | None = None) -> IoTicket:
+                   logical: int | None = None, queue: int = 0) -> IoTicket:
         if offset < DATA_BASE:
             raise ObjectStoreError("data write into superblock area")
         if sync:
-            return self.device.write(offset, data, logical_nbytes=logical)
-        return self.device.write_async(offset, data, logical_nbytes=logical)
+            return self.device.write(offset, data, logical_nbytes=logical,
+                                     queue=queue)
+        return self.device.write_async(offset, data, logical_nbytes=logical,
+                                       queue=queue)
 
-    def write_data_batch(self, writes: Sequence[BatchWrite]) -> list[IoTicket]:
-        """Submit coalesced data extents with one doorbell."""
+    def write_data_batch(self, writes: Sequence[BatchWrite],
+                         queue: int = 0) -> list[IoTicket]:
+        """Submit coalesced data extents with one doorbell on ``queue``."""
         for write in writes:
             if write.offset < DATA_BASE:
                 raise ObjectStoreError("data write into superblock area")
-        return self.device.write_batch(writes)
+        return self.device.write_batch(writes, queue=queue)
 
-    def read_data(self, offset: int, nbytes: int, logical: int | None = None) -> bytes:
+    def read_data(self, offset: int, nbytes: int, logical: int | None = None,
+                  queue: int = 0) -> bytes:
         if offset < DATA_BASE:
             raise ObjectStoreError("data read from superblock area")
-        return self.device.read(offset, nbytes, logical_nbytes=logical)
+        return self.device.read(offset, nbytes, logical_nbytes=logical,
+                                queue=queue)
+
+    def read_data_async(self, offset: int, nbytes: int,
+                        logical: int | None = None,
+                        queue: int = 0) -> tuple[IoTicket, bytes]:
+        """Queue a data-area read on ``queue`` without advancing the
+        clock to completion (restore fan-out across queues)."""
+        if offset < DATA_BASE:
+            raise ObjectStoreError("data read from superblock area")
+        return self.device.read_async(offset, nbytes, logical_nbytes=logical,
+                                      queue=queue)
 
     def flush_barrier(self) -> int:
         return self.device.flush_barrier()

@@ -100,8 +100,13 @@ class ObjectStore:
         self.device = device
         self.volume = Volume(device)
         self.mem = mem
+        #: one allocation stripe / flush shard per device submission
+        #: queue — the sharded batch flush submits each stripe's runs
+        #: on its own queue so they drain in parallel
+        self.num_shards = max(1, device.spec.num_queues)
         self.allocator = ExtentAllocator(
-            base=self.volume.data_base, size=self.volume.data_size
+            base=self.volume.data_base, size=self.volume.data_size,
+            num_shards=self.num_shards,
         )
         self.dedup = DedupIndex()
         self.directory = SnapshotDirectory()
@@ -193,7 +198,8 @@ class ObjectStore:
                         action.reason or "injected record-write failure"
                     )
         record = pack_record(kind=kind, oid=oid, epoch=epoch, payload=payload)
-        extent = self.allocator.allocate(len(record))
+        shard = batch.next_shard() if batch is not None else None
+        extent = self.allocator.allocate(len(record), shard=shard)
         size = max(len(record), logical or 0)
         if batch is not None:
             if sync:
@@ -286,35 +292,41 @@ class ObjectStore:
         Restores read whole checkpoint images; sorting the extents and
         merging near-adjacent ones models the large sequential reads
         the real store issues (one device op per run instead of one
-        per page).  Returns hash -> payload.
+        per page).  The runs are fanned out round-robin across the
+        device's submission queues and the clock advances once to the
+        slowest completion, so on a multi-queue device a restore's
+        transfers overlap the same way the sharded flush's do.
+        Returns hash -> payload.
         """
         if not refs:
             return {}
         unique: dict[int, PageRef] = {r.extent.offset: r for r in refs}
         ordered = sorted(unique.values(), key=lambda r: r.extent.offset)
-        out: dict[bytes, bytes] = {}
-        run_start = ordered[0].extent.offset
+        runs: list[list[PageRef]] = [[ordered[0]]]
         run_end = ordered[0].extent.end
-        run_refs = [ordered[0]]
-
-        def finish_run():
+        for ref in ordered[1:]:
+            if ref.extent.offset - run_end <= READ_COALESCE_GAP:
+                run_end = max(run_end, ref.extent.end)
+                runs[-1].append(ref)
+            else:
+                runs.append([ref])
+                run_end = ref.extent.end
+        out: dict[bytes, bytes] = {}
+        deadline = self.device.clock.now
+        nq = self.device.num_queues
+        for i, run_refs in enumerate(runs):
+            run_start = run_refs[0].extent.offset
+            length = max(r.extent.end for r in run_refs) - run_start
             logical = len(run_refs) * (HEADER_SIZE + PAGE_SIZE)
-            raw = self.volume.read_data(
-                run_start, run_end - run_start, logical=logical
+            ticket, raw = self.volume.read_data_async(
+                run_start, length, logical=logical, queue=i % nq
             )
+            deadline = max(deadline, ticket.completes_at)
             for ref in run_refs:
                 rel = ref.extent.offset - run_start
                 _, payload = unpack_record(raw[rel : rel + ref.extent.length])
                 out[ref.content_hash] = payload
-
-        for ref in ordered[1:]:
-            if ref.extent.offset - run_end <= READ_COALESCE_GAP:
-                run_end = max(run_end, ref.extent.end)
-                run_refs.append(ref)
-            else:
-                finish_run()
-                run_start, run_end, run_refs = ref.extent.offset, ref.extent.end, [ref]
-        finish_run()
+        self.device.clock.advance_to(deadline)
         return out
 
     # -- batched writes ----------------------------------------------------------------
@@ -396,7 +408,15 @@ class ObjectStore:
         for ref in pages:
             self.dedup.hold(ref.content_hash, nbytes=ref.length)
         self.directory.add(snapshot)
-        self.volume.write_superblock(encode(self.directory.encode()), sync=sync)
+        # Cross-queue barrier: the superblock must become durable only
+        # after every record it references.  FIFO ordering holds per
+        # submission queue, but a sharded flush spreads records over
+        # all queues — release_ns floors the superblock's start time at
+        # the deadline of everything still in flight, on every queue.
+        self.volume.write_superblock(
+            encode(self.directory.encode()), sync=sync,
+            release_ns=self.device.pending_deadline(),
+        )
         self.stats.snapshots_committed += 1
         if self.obs is not None:
             self._c_snaps.inc()
@@ -443,7 +463,10 @@ class ObjectStore:
                 self.garbage.append(freed)
         self._release_meta(snapshot.manifest_extent)
         self.directory.remove(snap_id)
-        self.volume.write_superblock(encode(self.directory.encode()), sync=sync)
+        self.volume.write_superblock(
+            encode(self.directory.encode()), sync=sync,
+            release_ns=self.device.pending_deadline(),
+        )
         self.stats.snapshots_deleted += 1
         if self.obs is not None:
             self._c_snaps_del.inc()
@@ -491,7 +514,8 @@ class ObjectStore:
         """
         report = RecoveryReport()
         self.allocator = ExtentAllocator(
-            base=self.volume.data_base, size=self.volume.data_size
+            base=self.volume.data_base, size=self.volume.data_size,
+            num_shards=self.num_shards,
         )
         self.allocator.faults = self.faults
         self.dedup = DedupIndex()
@@ -581,13 +605,26 @@ class WriteBatch:
         self.epoch = epoch
         self.max_extent_bytes = max_extent_bytes
         self._items: list[tuple[Extent, bytes, int]] = []
+        self._rr_shard = 0
         #: cumulative accounting across flushes (read by the
         #: checkpoint pipeline's FlushInfo)
         self.flushes = 0
         self.records_flushed = 0
         self.extents_flushed = 0
         self.bytes_flushed = 0
+        self.shards_flushed = 0
         self.last_tickets: list[IoTicket] = []
+
+    def next_shard(self) -> int:
+        """Round-robin allocation shard for the next buffered record.
+
+        Spreading a checkpoint's records evenly over the allocator
+        stripes is what lets :meth:`flush` hand every submission queue
+        a similar amount of work.
+        """
+        shard = self._rr_shard
+        self._rr_shard = (self._rr_shard + 1) % self.store.num_shards
+        return shard
 
     def __len__(self) -> int:
         return len(self._items)
@@ -622,10 +659,21 @@ class WriteBatch:
     def flush(self) -> list[IoTicket]:
         """Coalesce and submit everything buffered; returns tickets.
 
-        The clock only advances by the submission model's costs (one
-        doorbell plus any queue-slot stalls); durability is reached at
-        the returned tickets' ``completes_at`` deadlines, observed by
-        the ``objstore.batch.flush`` span closing out-of-order there.
+        The buffered extents are grouped by allocator shard and each
+        shard's coalesced runs go out through their own doorbell on
+        the matching submission queue, so on a multi-queue device the
+        shards drain in parallel.  The clock only advances by the
+        submission model's costs (one doorbell per shard plus any
+        queue-slot stalls); durability is reached at the returned
+        tickets' ``completes_at`` deadlines, observed by the
+        ``objstore.batch.flush`` span closing out-of-order there.
+
+        Failpoint ``objstore.batch.flush`` fires once before anything
+        is submitted; ``objstore.batch.shard_flush`` fires before each
+        shard's doorbell — a crash there is a power cut with some
+        shards already in flight and the rest never submitted, which
+        recovery must tear as a unit (the superblock barrier guarantees
+        the torn checkpoint was never named).
         """
         store = self.store
         if not self._items:
@@ -647,57 +695,89 @@ class WriteBatch:
                     )
         items = sorted(self._items, key=lambda item: item[0].offset)
         self._items = []
-        writes: list[BatchWrite] = []
-        run: list[tuple[Extent, bytes, int]] = [items[0]]
-        # The cap bounds the *on-media* (logical) size of one coalesced
-        # command, matching how MDTS limits a real transfer.
-        run_bytes = items[0][2]
+        num_queues = store.device.num_queues
+        by_shard: dict[int, list[tuple[Extent, bytes, int]]] = {}
+        for item in items:
+            shard = store.allocator.shard_of(item[0].offset) % num_queues
+            by_shard.setdefault(shard, []).append(item)
 
-        def close_run() -> None:
-            data = b"".join(record for _, record, _ in run)
-            logical = sum(lg for _, _, lg in run)
-            writes.append(
-                BatchWrite(
-                    offset=run[0][0].offset, data=data, logical_nbytes=logical
+        def coalesce(shard_items: list[tuple[Extent, bytes, int]]) -> list[BatchWrite]:
+            writes: list[BatchWrite] = []
+            run: list[tuple[Extent, bytes, int]] = [shard_items[0]]
+            # The cap bounds the *on-media* (logical) size of one
+            # coalesced command, matching how MDTS limits a transfer.
+            run_bytes = shard_items[0][2]
+
+            def close_run() -> None:
+                data = b"".join(record for _, record, _ in run)
+                logical = sum(lg for _, _, lg in run)
+                writes.append(
+                    BatchWrite(
+                        offset=run[0][0].offset, data=data, logical_nbytes=logical
+                    )
                 )
-            )
 
-        for item in items[1:]:
-            extent, _record, logical = item
-            if (extent.offset == run[-1][0].end
-                    and run_bytes + logical <= self.max_extent_bytes):
-                run.append(item)
-                run_bytes += logical
-            else:
-                close_run()
-                run = [item]
-                run_bytes = logical
-        close_run()
+            for item in shard_items[1:]:
+                extent, _record, logical = item
+                if (extent.offset == run[-1][0].end
+                        and run_bytes + logical <= self.max_extent_bytes):
+                    run.append(item)
+                    run_bytes += logical
+                else:
+                    close_run()
+                    run[:] = [item]
+                    run_bytes = logical
+            close_run()
+            return writes
 
         span = None
         if store.obs is not None:
             span = store.obs.tracer.span(
                 obs_names.SPAN_STORE_BATCH,
                 store=store.device.name,
-                records=len(items), extents=len(writes),
+                records=len(items), shards=len(by_shard),
             )
-            span.event(
-                obs_names.EV_BATCH_SUBMIT,
-                records=len(items), extents=len(writes),
-            )
-        tickets = store.volume.write_data_batch(writes)
+        tickets: list[IoTicket] = []
+        total_extents = 0
+        for shard in sorted(by_shard):
+            shard_items = by_shard[shard]
+            if store.faults is not None:
+                action = store.faults.fire(
+                    fault_names.FP_STORE_SHARD_FLUSH,
+                    store=store.device.name, shard=shard,
+                    records=len(shard_items),
+                )
+                if action is not None:
+                    if action.kind == "crash":
+                        raise PowerCut(
+                            action.reason or f"power cut at shard {shard} flush",
+                            at_ns=store._now(),
+                        )
+                    if action.kind == "fail":
+                        raise ObjectStoreError(
+                            action.reason or f"injected shard {shard} flush failure"
+                        )
+            writes = coalesce(shard_items)
+            total_extents += len(writes)
+            if store.obs is not None:
+                span.event(
+                    obs_names.EV_BATCH_SUBMIT,
+                    shard=shard, records=len(shard_items), extents=len(writes),
+                )
+            tickets.extend(store.volume.write_data_batch(writes, queue=shard))
         total_logical = sum(lg for _, _, lg in items)
         self.flushes += 1
         self.records_flushed += len(items)
-        self.extents_flushed += len(writes)
+        self.extents_flushed += total_extents
         self.bytes_flushed += total_logical
+        self.shards_flushed += len(by_shard)
         self.last_tickets = tickets
         store.stats.batches_flushed += 1
         store.stats.batch_records += len(items)
-        store.stats.batch_extents += len(writes)
+        store.stats.batch_extents += total_extents
         if store.obs is not None:
             store._c_batches.inc()
             store._c_batch_records.inc(len(items))
-            span.set(bytes=total_logical)
+            span.set(bytes=total_logical, extents=total_extents)
             span.close(at_ns=max(t.completes_at for t in tickets))
         return tickets

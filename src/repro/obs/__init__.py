@@ -47,6 +47,7 @@ from repro.obs.registry import (
 )
 from repro.obs.render import (
     checkpoint_reconciliation,
+    render_device_utilization,
     render_registry,
     render_span_tree,
 )
@@ -137,6 +138,7 @@ __all__ = [
     "dumps_jsonl",
     "load_jsonl",
     "names",
+    "render_device_utilization",
     "render_registry",
     "render_span_tree",
     "set_default_enabled",

@@ -84,6 +84,10 @@ C_FS_CLONES = "slsfs.clones_total"
 # --- gauges ------------------------------------------------------------------
 
 G_SHADOW_DEPTH = "cow.shadow_chain_depth_max"
+#: per-submission-queue channel utilization over the run so far, as an
+#: integer permille (busy_ns * 1000 / elapsed_ns) — integer so metric
+#: exports stay byte-stable
+G_DEVICE_QUEUE_UTIL = "device.queue_utilization_permille"
 
 # --- histograms (virtual nanoseconds) ----------------------------------------
 

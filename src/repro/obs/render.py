@@ -95,6 +95,34 @@ def checkpoint_reconciliation(root: Span) -> Optional[str]:
     )
 
 
+def render_device_utilization(registry: Registry) -> Optional[str]:
+    """Per-queue device utilization table from the persist-path gauges.
+
+    Collects every ``device.queue_utilization_permille`` sample and
+    formats one row per (device, queue) with the permille rendered as a
+    percentage column — the `sls stats` view of how evenly a sharded
+    flush loaded the submission queues.  None when no device gauge has
+    been published.
+    """
+    rows = [
+        inst for inst in registry.collect()
+        if isinstance(inst, Gauge) and inst.name == names.G_DEVICE_QUEUE_UTIL
+    ]
+    if not rows:
+        return None
+    rows.sort(key=lambda i: (i.labels.get("device", ""),
+                             int(i.labels.get("queue", "0"))))
+    device_w = max(len("device"), max(len(i.labels.get("device", "?")) for i in rows))
+    lines = [f"  {'device':<{device_w}}  queue  util%"]
+    for inst in rows:
+        pct = inst.value / 10.0
+        lines.append(
+            f"  {inst.labels.get('device', '?'):<{device_w}}"
+            f"  {inst.labels.get('queue', '?'):>5}  {pct:5.1f}"
+        )
+    return "\n".join(lines)
+
+
 def render_registry(registry: Registry) -> str:
     """Counters/gauges as a table, histograms with summary stats."""
     counters = [i for i in registry.collect() if isinstance(i, (Counter, Gauge))]

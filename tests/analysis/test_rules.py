@@ -95,7 +95,21 @@ def test_crash_ordering_bad_fixture_fails():
     assert "superblock write reachable with batched records" in messages
     assert "no registered failpoint" in messages
     assert "bypasses the Volume layer" in messages
-    assert len(bad) == 3
+    assert "without a release_ns= barrier" in messages
+    assert len(bad) == 5
+
+
+def test_crash_ordering_flags_none_barrier():
+    # release_ns=None is not a barrier: the parallel-flush shape must
+    # pass the device's pending deadline, not a literal None.
+    report = run_fixture("crash", "crash-ordering")
+    bad = by_path(report, "repro/objstore/bad.py")
+    none_barrier = [
+        f for f in bad
+        if "release_ns= barrier" in f.message
+        and f.symbol.endswith("commit_parallel")
+    ]
+    assert len(none_barrier) == 1
 
 
 def test_crash_ordering_good_fixture_passes():

@@ -61,6 +61,30 @@ class TestAcceptance:
         assert results["pipeline"]["overlapped"] == 1
         assert results["pipeline"]["pipelined_checkpoints"] >= 1
 
+    def test_multiqueue_speedup(self, results):
+        # The multi-queue tentpole's acceptance floor: the sharded
+        # parallel flush is >= 1.5x faster at 4 queues than 1 (qd8).
+        assert results["derived"]["speedup_nq4_x1000"] >= 1500
+
+    def test_multiqueue_flush_spreads_shards(self, results):
+        cells = results["multiqueue_flush"]
+        assert cells["nq1_qd8"]["shards"] == 1
+        assert cells["nq2_qd8"]["shards"] == 2
+        assert cells["nq4_qd8"]["shards"] == 4
+        # Same work lands in every cell; only the parallelism differs.
+        assert (
+            cells["nq1_qd8"]["records"]
+            == cells["nq2_qd8"]["records"]
+            == cells["nq4_qd8"]["records"]
+        )
+
+    def test_only_runs_a_single_scenario(self, results):
+        partial = run_suite(only="multiqueue_flush")
+        assert set(partial) == {"meta", "multiqueue_flush", "derived"}
+        assert partial["multiqueue_flush"] == results["multiqueue_flush"]
+        with pytest.raises(KeyError):
+            run_suite(only="nonesuch")
+
     def test_matches_committed_baseline(self, results):
         with open("benchmarks/results/baseline.json") as handle:
             baseline = json.load(handle)
@@ -136,3 +160,20 @@ class TestCliEntry:
         assert main(["bench", "--compare", str(baseline)]) == 1
         captured = capsys.readouterr()
         assert "REGRESSIONS" in captured.err
+
+    def test_bench_only_flag(self, tmp_path, capsys):
+        out = tmp_path / "partial.json"
+        assert main(["bench", "--only", "pipeline", "--json", str(out)]) == 0
+        partial = json.loads(out.read_text())
+        assert set(partial) == {"meta", "pipeline", "derived"}
+        capsys.readouterr()
+        assert main(["bench", "--only", "nonesuch"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bench_only_rejects_compare(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{}")
+        assert main([
+            "bench", "--only", "pipeline", "--compare", str(baseline)
+        ]) == 2
+        assert "--only" in capsys.readouterr().err

@@ -48,6 +48,9 @@ class TestSweep:
         assert fired.get(names.FP_GC_COLLECT, 0) >= 1
         assert fired.get(names.FP_FS_SYNC, 0) >= CHECKPOINTS
         assert fired.get(names.FP_DEVICE_WRITE, 0) >= 30
+        # The sharded parallel flush contributes its own crash sites:
+        # a power cut with some shards submitted and the rest buffered.
+        assert fired.get(names.FP_STORE_SHARD_FLUSH, 0) >= CHECKPOINTS
         # Every armed point actually fired (indices came from golden).
         assert len(report.crash_points) == len(report.points)
 
@@ -68,6 +71,21 @@ class TestSweep:
         text = report.summary()
         assert "crash sweep" in text
         assert names.FP_STORE_COMMIT in text
+
+    def test_cli_pins_crash_point_count(self, capsys):
+        # The CI job pins the sweep's crash-point count so a silently
+        # dropped crash site fails the build.
+        from repro.cli.main import main
+
+        count = len(run_sweep(stride=16).crash_points)
+        assert main(
+            ["crashtest", "--stride", "16", "--expect-points", str(count)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["crashtest", "--stride", "16", "--expect-points", str(count + 1)]
+        ) == 1
+        assert "crash-point count" in capsys.readouterr().err
 
 
 class TestCrashPointOracles:

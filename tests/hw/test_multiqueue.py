@@ -1,0 +1,172 @@
+"""The multi-queue device model: per-queue channels, per-queue
+stats, the release_ns ordering barrier, and crash semantics."""
+
+import pytest
+
+from repro.errors import DeviceIOError
+from repro.hw.nvme import NvmeDevice
+from repro.hw.specs import NVME_SUBMIT_NS, OPTANE_900P, with_queue_model
+from repro.sim.clock import SimClock
+from repro.units import MIB
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+def mqdev(clock, num_queues=4, queue_depth=8):
+    return NvmeDevice(clock, queue_depth=queue_depth, num_queues=num_queues)
+
+
+class TestSpec:
+    def test_with_queue_model_arms_num_queues(self):
+        spec = with_queue_model(OPTANE_900P, 8, num_queues=4)
+        assert spec.num_queues == 4
+
+    def test_default_is_single_queue(self):
+        assert OPTANE_900P.num_queues == 1
+        assert with_queue_model(OPTANE_900P, 8).num_queues == 1
+
+    def test_zero_queues_rejected(self):
+        with pytest.raises(ValueError):
+            with_queue_model(OPTANE_900P, 8, num_queues=0)
+
+    def test_nvme_device_opt_in_kwarg(self, clock):
+        dev = mqdev(clock, num_queues=4)
+        assert dev.num_queues == 4
+        assert dev.spec.num_queues == 4
+        assert NvmeDevice(clock).num_queues == 1
+
+
+class TestParallelism:
+    def test_distinct_queues_overlap_transfers(self, clock):
+        # Two 1 MiB writes on different queues complete one doorbell
+        # cost apart — their media transfers run fully in parallel.
+        dev = mqdev(clock, num_queues=2)
+        a = dev.write_async(0, b"x" * MIB, queue=0)
+        b = dev.write_async(2 * MIB, b"y" * MIB, queue=1)
+        assert b.completes_at - a.completes_at == NVME_SUBMIT_NS
+
+    def test_same_queue_serializes_transfers(self, clock):
+        dev = mqdev(clock, num_queues=2)
+        a = dev.write_async(0, b"x" * MIB, queue=0)
+        b = dev.write_async(2 * MIB, b"y" * MIB, queue=0)
+        # The second command waits for the first's transfer, not just
+        # the doorbell: the channel serialization point is per queue.
+        assert b.completes_at - a.completes_at > NVME_SUBMIT_NS
+
+    def test_four_queues_drain_faster_than_one(self):
+        def drain(num_queues):
+            clock = SimClock()
+            dev = mqdev(clock, num_queues=num_queues)
+            for i in range(8):
+                dev.write_async(i * MIB, b"d" * MIB, queue=i % num_queues)
+            return dev.pending_deadline() - clock.now
+
+        assert drain(4) < drain(1)
+
+    def test_reads_overlap_across_queues(self, clock):
+        dev = mqdev(clock, num_queues=2)
+        dev.write(0, b"a" * MIB)
+        dev.write(2 * MIB, b"b" * MIB)
+        t0, _ = dev.read_async(0, MIB, queue=0)
+        t1, _ = dev.read_async(2 * MIB, MIB, queue=1)
+        assert t1.completes_at - t0.completes_at == NVME_SUBMIT_NS
+
+    def test_queue_depth_window_is_per_queue(self, clock):
+        # qd=1 forces strictly serial commands within a queue, but two
+        # queues still give two independent in-flight windows.
+        dev = mqdev(clock, num_queues=2, queue_depth=1)
+        dev.write_async(0, b"x" * MIB, queue=0)
+        stall_before = dev.stats.submit_stall_ns
+        dev.write_async(2 * MIB, b"y" * MIB, queue=1)
+        assert dev.stats.submit_stall_ns == stall_before
+        dev.write_async(4 * MIB, b"z" * MIB, queue=1)
+        assert dev.stats.submit_stall_ns > stall_before
+        assert dev.stats.queues[1].submit_stall_ns > 0
+        assert dev.stats.queues[0].submit_stall_ns == 0
+
+
+class TestReleaseBarrier:
+    def test_release_ns_orders_after_other_queues(self, clock):
+        dev = mqdev(clock, num_queues=2)
+        big = dev.write_async(0, b"x" * MIB, queue=1)
+        sb = dev.write_async(
+            4 * MIB, b"s" * 128, queue=0, release_ns=dev.pending_deadline()
+        )
+        # The small queue-0 write starts only once the queue-1 MiB is
+        # durable — cross-queue FIFO does not hold, the barrier does.
+        assert sb.completes_at > big.completes_at
+
+    def test_without_barrier_small_write_races_ahead(self, clock):
+        dev = mqdev(clock, num_queues=2)
+        big = dev.write_async(0, b"x" * MIB, queue=1)
+        sb = dev.write_async(4 * MIB, b"s" * 128, queue=0)
+        assert sb.completes_at < big.completes_at
+
+    def test_crash_between_barrier_and_completion_tears_it(self, clock):
+        dev = mqdev(clock, num_queues=2)
+        big = dev.write_async(0, b"x" * MIB, queue=1)
+        sb = dev.write_async(
+            4 * MIB, b"s" * 128, queue=0, release_ns=dev.pending_deadline()
+        )
+        clock.advance_to(big.completes_at)
+        dev.crash()
+        # The record is durable; the barriered write was still in
+        # flight and reads back as stale zeros.
+        assert dev.read(0, 4) == b"xxxx"
+        assert dev.read(4 * MIB, 4) == b"\x00" * 4
+
+
+class TestAccounting:
+    def test_per_queue_counters_sum_to_totals(self, clock):
+        dev = mqdev(clock, num_queues=4)
+        for i in range(8):
+            dev.write_async(i * MIB, b"w" * 1024, queue=i % 4)
+        dev.read(0, 512, queue=2)
+        q = dev.stats.queues
+        assert len(q) == 4
+        assert sum(s.writes for s in q) == dev.stats.writes == 8
+        assert sum(s.reads for s in q) == dev.stats.reads == 1
+        assert sum(s.doorbells for s in q) == dev.stats.doorbells == 9
+        assert sum(s.busy_ns for s in q) == dev.stats.busy_ns
+        assert all(s.writes == 2 for s in q)
+
+    def test_utilization_denominator_scales_with_queues(self, clock):
+        dev = mqdev(clock, num_queues=2)
+        dev.write(0, b"x" * MIB, queue=0)
+        window = clock.now
+        busy = dev.stats.busy_ns
+        assert dev.utilization(window) == min(1.0, busy / (window * 2))
+
+    def test_queue_utilization_permille(self, clock):
+        dev = mqdev(clock, num_queues=2)
+        dev.write(0, b"x" * MIB, queue=0)
+        window = clock.now
+        assert dev.queue_utilization_permille(0, window) > 0
+        assert dev.queue_utilization_permille(1, window) == 0
+        assert dev.queue_utilization_permille(0, 0) == 0
+
+    def test_queue_out_of_range_rejected(self, clock):
+        dev = mqdev(clock, num_queues=2)
+        with pytest.raises(DeviceIOError):
+            dev.write_async(0, b"x", queue=2)
+        with pytest.raises(DeviceIOError):
+            dev.read(0, 16, queue=-1)
+        with pytest.raises(DeviceIOError):
+            dev.queue_utilization_permille(7, 1000)
+
+
+class TestCrash:
+    def test_crash_resets_every_queue(self, clock):
+        dev = mqdev(clock, num_queues=4)
+        for i in range(4):
+            dev.write_async(i * MIB, b"x" * MIB, queue=i)
+        lost = dev.crash()
+        assert lost == 4
+        assert all(queue == [] for queue in dev._inflight)
+        assert dev._busy_until == [clock.now] * 4
+        # The device is usable immediately after the power cut.
+        ticket = dev.write_async(0, b"again", queue=3)
+        assert ticket.issued_at >= clock.now - NVME_SUBMIT_NS

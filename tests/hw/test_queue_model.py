@@ -122,7 +122,7 @@ class TestQueueDepth:
         for i in range(6):
             dev.write_async(i * 8 * KIB, b"q" * 4096)
         dev.crash()
-        assert dev._inflight == []
+        assert all(queue == [] for queue in dev._inflight)
         # Post-crash submissions start from an empty queue: no stall.
         stall_before = dev.stats.submit_stall_ns
         dev.write_async(0, b"fresh")
