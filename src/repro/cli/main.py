@@ -37,6 +37,12 @@ determinism, registry drift, crash ordering, keyword-only API, and
 unit-suffix rules over the source tree, with a checked-in suppression
 baseline.  CI runs it as a blocking job.
 
+``sls fsck`` and ``sls scrub`` exercise the recovery tooling (see
+RECOVERY.md) against a deterministic demo store: ``--inject`` plants
+one named corruption, fsck detects/classifies it (``--repair`` fixes
+what is safely repairable), and scrub verifies every reachable extent
+checksum over idle device queues.
+
 ``FILE`` may be a Python program (run like ``python FILE``) or an sls
 command script; with no file the canned demo is traced.
 """
@@ -157,14 +163,21 @@ def cmd_trace(args) -> int:
 
 
 def cmd_crashtest(args) -> int:
-    from repro.fault.crashtest import run_sweep
+    from repro.fault.crashtest import EXPECTED_CRASH_POINTS, run_sweep
 
+    expect = args.expect_points
+    if expect == "pinned":
+        # the single source of truth CI pins against — the sweep itself
+        # fails loudly (width_drift) if the count disagrees
+        expect = EXPECTED_CRASH_POINTS
+    elif expect is not None:
+        expect = int(expect, 0)
     report = run_sweep(seed=args.seed, stride=args.stride)
     print(report.summary())
-    if args.expect_points is not None and len(report.crash_points) != args.expect_points:
+    if expect is not None and len(report.crash_points) != expect:
         print(
             f"crash-point count {len(report.crash_points)} != expected "
-            f"{args.expect_points}: a crash site was silently added or "
+            f"{expect}: a crash site was silently added or "
             f"dropped — re-count the sweep and update the CI pin",
             file=sys.stderr,
         )
@@ -179,10 +192,72 @@ def cmd_crashtest(args) -> int:
                     "at_ns": point.at_ns,
                     "generation": point.generation,
                     "snapshots_recovered": point.snapshots_recovered,
+                    "fsck_findings": point.fsck_findings,
+                    "fsck_repaired": point.fsck_repaired,
                     "failures": point.failures,
                 }, sort_keys=True) + "\n")
         print(f"wrote {len(report.points)} crash points to {args.json}")
+    if args.fsck_report:
+        with open(args.fsck_report, "w") as handle:
+            for point in report.points:
+                if point.fsck_report is None:
+                    continue
+                handle.write(json.dumps({
+                    "site": point.site,
+                    "index": point.index,
+                    "fsck": point.fsck_report,
+                }, sort_keys=True) + "\n")
+        print(f"wrote fsck reports to {args.fsck_report}")
     return 1 if report.failures else 0
+
+
+def cmd_fsck(args) -> int:
+    from repro.cli.recovery import build_demo_store, inject
+    from repro.objstore.fsck import Fsck
+
+    device, store, _obs = build_demo_store()
+    if args.inject:
+        print(f"injected: {inject(device, store, args.inject)}")
+    checker = Fsck(store, repair=args.repair)
+    report = checker.run()
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote fsck report to {args.json}")
+    if args.repair and report.findings and report.repaired_all:
+        second = Fsck(store, repair=False).run()
+        verdict = "clean" if second.clean else "STILL DAMAGED"
+        print(f"re-check after repair: {verdict}")
+        return 0 if second.clean else 1
+    return 0 if report.clean or (args.repair and report.repaired_all) else 1
+
+
+def cmd_scrub(args) -> int:
+    from repro.cli.recovery import build_demo_store, inject
+    from repro.objstore.scrub import Scrubber
+
+    device, store, _obs = build_demo_store()
+    if args.inject:
+        print(f"injected: {inject(device, store, args.inject)}")
+    scrubber = Scrubber(store, batch_extents=args.batch)
+    scrubber.run()
+    print(scrubber.summary())
+    if args.json:
+        with open(args.json, "w") as handle:
+            payload = {
+                "extents_total": scrubber.stats.extents_total,
+                "extents_verified": scrubber.stats.extents_verified,
+                "bytes_verified": scrubber.stats.bytes_verified,
+                "errors": scrubber.stats.errors,
+                "steps": scrubber.stats.steps,
+                "findings": [f.to_dict() for f in scrubber.findings],
+            }
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        print(f"wrote scrub report to {args.json}")
+    if scrubber.stats.errors:
+        print("scrub found damage — run `sls fsck --repair` (RECOVERY.md)")
+    return 1 if scrubber.stats.errors else 0
 
 
 def cmd_bench(args) -> int:
@@ -234,6 +309,10 @@ def cmd_stats(args) -> int:
         if utilization is not None:
             print("-- device utilization --")
             print(utilization)
+        scrub = obs.render_scrub_progress(kobs.registry)
+        if scrub is not None:
+            print("-- scrub progress --")
+            print(scrub)
     if not shown:
         print("no instruments registered (did the target boot a kernel?)")
         return 1
@@ -275,9 +354,14 @@ def main(argv=None) -> int:
                        help="subsample the device-write sweep by this step")
     crash.add_argument("--json", metavar="PATH", default=None,
                        help="also export crash points as JSON lines")
-    crash.add_argument("--expect-points", type=int, default=None,
+    crash.add_argument("--expect-points", default=None, metavar="N|pinned",
                        help="fail unless the sweep visits exactly this many "
-                            "crash points (CI pin against dropped sites)")
+                            "crash points; 'pinned' uses the in-tree "
+                            "EXPECTED_CRASH_POINTS constant (CI pin against "
+                            "dropped sites)")
+    crash.add_argument("--fsck-report", metavar="PATH", default=None,
+                       help="export each crash point's post-recovery fsck "
+                            "report as JSON lines")
     bench = sub.add_parser(
         "bench",
         help="run the pinned virtual-clock benchmark suite (deterministic)",
@@ -291,6 +375,28 @@ def main(argv=None) -> int:
     bench.add_argument("--only", metavar="SCENARIO", default=None,
                        help="run a single scenario's cell grid "
                             "(local iteration; full suite is the CI default)")
+    from repro.cli.recovery import INJECTIONS
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="offline check (and optionally repair) a demo object store",
+    )
+    fsck.add_argument("--inject", choices=INJECTIONS, default=None,
+                      help="plant one named corruption before checking")
+    fsck.add_argument("--repair", action="store_true",
+                      help="repair what is safely repairable, then re-check")
+    fsck.add_argument("--json", metavar="PATH", default=None,
+                      help="write the structured FsckReport as JSON")
+    scrub = sub.add_parser(
+        "scrub",
+        help="online checksum scrub of a demo store over idle queues",
+    )
+    scrub.add_argument("--inject", choices=INJECTIONS, default=None,
+                       help="plant one named corruption before scrubbing")
+    scrub.add_argument("--batch", type=int, default=16,
+                       help="extents verified per scrub step (default 16)")
+    scrub.add_argument("--json", metavar="PATH", default=None,
+                       help="write the scrub stats and findings as JSON")
     from repro.analysis.cli import add_lint_parser
 
     add_lint_parser(sub)
@@ -308,6 +414,10 @@ def main(argv=None) -> int:
         return cmd_crashtest(args)
     if args.mode == "bench":
         return cmd_bench(args)
+    if args.mode == "fsck":
+        return cmd_fsck(args)
+    if args.mode == "scrub":
+        return cmd_scrub(args)
 
     session = SlsSession()
     if args.mode in (None, "demo"):

@@ -1,0 +1,102 @@
+"""Demo store and corruption injection for ``sls fsck`` / ``sls scrub``.
+
+Both subcommands operate on a deterministic demo store (a few
+checkpoint-like snapshots on a 4-queue NVMe model) so RECOVERY.md's
+worked examples reproduce byte-for-byte.  ``--inject`` plants one
+named corruption before the check runs — each maps to one of fsck's
+corruption classes:
+
+=============  ==========================================================
+``checksum``    flip a byte inside a referenced page record on media
+``refcount``    take an extra dedup reference nothing accounts for
+``orphan``      allocate an extent and lose track of it (a leak)
+``double-alloc``commit a snapshot whose record ref aims at another
+                snapshot's page extent (the same bytes claimed twice)
+``dangling``    commit a snapshot referencing an extent beyond the volume
+=============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from repro.hw.nvme import NvmeDevice
+from repro.obs import KernelObs
+from repro.objstore.alloc import Extent
+from repro.objstore.store import MetaRef, ObjectStore, PageRef
+from repro.sim.clock import SimClock
+from repro.units import KIB
+
+INJECTIONS = ("checksum", "refcount", "orphan", "double-alloc", "dangling")
+
+_SNAPSHOTS = 3
+_PAGES_PER_SNAPSHOT = 4
+
+
+def build_demo_store() -> tuple[NvmeDevice, ObjectStore, KernelObs]:
+    """A small deterministic store: 3 snapshots x 4 pages + metadata."""
+    clock = SimClock()
+    device = NvmeDevice(clock, name="fsck-nvme", queue_depth=8, num_queues=4)
+    store = ObjectStore(device)
+    obs = KernelObs(clock, label="fsck-demo")
+    store.attach_obs(obs)
+    for i in range(_SNAPSHOTS):
+        pages = [
+            store.write_page(
+                b"demo-%d-%d" % (i, j) + b"\xab" * (1 * KIB)
+            )
+            for j in range(_PAGES_PER_SNAPSHOT)
+        ]
+        meta = store.write_meta(100 + i, {"checkpoint": i})
+        store.commit_snapshot(
+            f"demo-{i}", meta={"demo": i}, records=[meta], pages=pages
+        )
+    store.flush_barrier()
+    return device, store, obs
+
+
+def _first_page_ref(store: ObjectStore, snapshot_name: str) -> PageRef:
+    snapshot = store.snapshot_by_name(snapshot_name)
+    _meta, _records, pages = store.load_manifest(snapshot)
+    return pages[0]
+
+
+def inject(device: NvmeDevice, store: ObjectStore, kind: str) -> str:
+    """Plant one named corruption; returns a description of the damage."""
+    if kind == "checksum":
+        ref = _first_page_ref(store, "demo-1")
+        offset = ref.extent.offset + 40  # into the payload, past the header
+        block_no, within = divmod(offset, 4096)
+        device._blocks[block_no][within] ^= 0xFF
+        return (f"flipped one byte at media offset {offset} inside the page "
+                f"record backing demo-1")
+    if kind == "refcount":
+        ref = _first_page_ref(store, "demo-0")
+        store.dedup.hold(ref.content_hash)
+        return (f"took an extra dedup reference on page "
+                f"{ref.content_hash.hex()[:12]} that no manifest accounts for")
+    if kind == "orphan":
+        extent = store.allocator.allocate(4 * KIB)
+        return (f"allocated [{extent.offset}, {extent.end}) and dropped the "
+                f"reference (a {extent.length}-byte leak)")
+    if kind == "double-alloc":
+        ref = _first_page_ref(store, "demo-0")
+        contested = MetaRef(
+            oid=999, extent=Extent(ref.extent.offset, ref.extent.length)
+        )
+        store.commit_snapshot(
+            "evil", meta={"injected": True}, records=[contested], pages=[]
+        )
+        store.flush_barrier()
+        return (f"committed snapshot 'evil' whose record ref claims the same "
+                f"bytes [{ref.extent.offset}, {ref.extent.end}) as demo-0's "
+                f"first page")
+    if kind == "dangling":
+        beyond = MetaRef(
+            oid=5, extent=Extent(device.capacity + 4096, 64)
+        )
+        store.commit_snapshot(
+            "dangle", meta={"injected": True}, records=[beyond], pages=[]
+        )
+        store.flush_barrier()
+        return ("committed snapshot 'dangle' referencing an extent past the "
+                "end of the volume")
+    raise ValueError(f"unknown injection {kind!r} (choose from {INJECTIONS})")

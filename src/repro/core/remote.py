@@ -84,8 +84,34 @@ def sls_send(
     endpoint: NetworkEndpoint,
     peer: str,
     store: Optional[ObjectStore] = None,
+    *,
+    verify_store: bool = True,
 ) -> int:
-    """``sls send``: ship one self-contained image; returns bytes sent."""
+    """``sls send``: ship one self-contained image; returns bytes sent.
+
+    When the image's pages live in ``store``, the store must fsck
+    clean before anything leaves the machine: shipping a checkpoint
+    off a damaged store would replicate the damage to the DR site,
+    turning the copy meant to survive a disaster into a second casualty
+    (see RECOVERY.md).  A clean verdict is cached per superblock
+    generation, so only the first send after a checkpoint pays for the
+    full walk.  Pass ``verify_store=False`` only to salvage from a
+    store already known damaged.
+    """
+    if store is not None and verify_store:
+        if store._fsck_clean_generation != store.volume.generation:
+            from repro.objstore.fsck import check_store
+
+            report = check_store(store)
+            if not report.clean:
+                counts = ", ".join(
+                    f"{kind} x{n}" for kind, n in sorted(report.counts().items())
+                )
+                raise MigrationError(
+                    f"refusing to send from a damaged store ({counts}): run "
+                    f"`sls fsck --repair` first, or pass verify_store=False "
+                    f"to salvage"
+                )
     payload = export_image(image, store)
     endpoint.send(peer, payload)
     return len(payload)

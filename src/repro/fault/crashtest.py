@@ -4,9 +4,10 @@ Aurora's contract is that a power cut costs at most the last
 checkpoint interval.  This harness checks the reproduction keeps that
 promise *at every instant*: it runs a fixed checkpoint/restore
 workload — SLS checkpoints, SLSFS snapshots, ``sls_ntflush`` log
-appends, snapshot deletion plus in-place GC — arms one ``crash``
-failpoint per run ("power-cut at hit N of site S"), tears the device,
-recovers a fresh store from the raw bytes, and asserts three oracles:
+appends, snapshot deletion plus in-place GC, then an online scrub pass
+— arms one ``crash`` failpoint per run ("power-cut at hit N of site
+S"), tears the device, recovers a fresh store from the raw bytes, and
+asserts four oracles:
 
 1. **prefix consistency** — the recovered snapshot directory equals,
    *exactly*, the directory as it stood at the recovered superblock
@@ -22,6 +23,10 @@ recovers a fresh store from the raw bytes, and asserts three oracles:
    what the workload wrote before that checkpoint.  The persistent
    log, reopened on its known region, scans back exactly the records
    whose synchronous append had returned.
+4. **fsck clean or exactly repaired** — ``repair_store`` on a second
+   fresh store walks every snapshot with full checksum verification;
+   every finding must be repaired, and a second fsck of the repaired
+   store must report nothing (see RECOVERY.md).
 
 Everything is deterministic: the workload takes no wall-clock input,
 the sweep enumerates failpoint hit counts observed in a golden run,
@@ -41,8 +46,10 @@ from repro.fault import names as fault_names
 from repro.fault.registry import FailpointRegistry, FaultAction
 from repro.hw.nvme import NvmeDevice
 from repro.objstore.alloc import Extent
+from repro.objstore.fsck import check_store, repair_store
 from repro.objstore.gc import GarbageCollector
 from repro.objstore.log import PersistentLog
+from repro.objstore.scrub import Scrubber
 from repro.objstore.record import decode
 from repro.objstore.snapshot import SnapshotDirectory
 from repro.objstore.store import ObjectStore
@@ -65,12 +72,22 @@ SWEEP_SITES = (
     fault_names.FP_LOG_APPEND,
     fault_names.FP_GC_COLLECT,
     fault_names.FP_FS_SYNC,
+    fault_names.FP_SCRUB_STEP,
 )
 
 DEFAULT_SEED = 0xFA17
 LOG_OWNER_OID = 7777
 HEAP_PAGES = 8
 CHECKPOINTS = 5
+#: extents per scrub step in the workload's post-barrier scrub pass
+SCRUB_BATCH = 16
+
+#: The crash-point count of the full-fidelity sweep (default seed,
+#: stride 1, all sites).  This is THE pin: the CI job passes
+#: ``--expect-points pinned`` and ``run_sweep`` itself fails loudly
+#: when a full sweep's width drifts from it — adding or removing a
+#: crash site means updating exactly this constant.
+EXPECTED_CRASH_POINTS = 101
 
 
 @dataclass
@@ -86,6 +103,8 @@ class WorkloadState:
     #: payloads whose synchronous (durable) append returned
     log_appended: list[bytes] = field(default_factory=list)
     log_region: Optional[Extent] = None
+    #: checksum errors the workload's own scrub pass found (golden: 0)
+    scrub_errors: int = 0
     completed: bool = False
 
 
@@ -99,6 +118,11 @@ class CrashPointResult:
     at_ns: int = 0
     generation: int = 0
     snapshots_recovered: int = 0
+    #: fsck oracle: findings on the crashed medium, how many repaired
+    fsck_findings: int = 0
+    fsck_repaired: int = 0
+    #: full structured FsckReport (CI uploads these as artifacts)
+    fsck_report: Optional[dict] = None
     failures: list[str] = field(default_factory=list)
 
 
@@ -107,6 +131,9 @@ class SweepReport:
     points: list[CrashPointResult] = field(default_factory=list)
     #: hits each site took in the fault-free golden run
     golden_hits: dict[str, int] = field(default_factory=dict)
+    #: set when a full-fidelity sweep's width diverges from the
+    #: EXPECTED_CRASH_POINTS pin (counts as a failure)
+    width_drift: Optional[str] = None
 
     @property
     def crash_points(self) -> list[CrashPointResult]:
@@ -114,11 +141,14 @@ class SweepReport:
 
     @property
     def failures(self) -> list[str]:
-        return [
+        out = [
             f"{p.site}@{p.index}: {msg}"
             for p in self.points
             for msg in p.failures
         ]
+        if self.width_drift:
+            out.append(self.width_drift)
+        return out
 
     def fired_by_site(self) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -137,12 +167,14 @@ class SweepReport:
                 f"  {site:<28} {fired:>4} crashes "
                 f"({self.golden_hits.get(site, 0)} hits in golden run)"
             )
+        repaired = sum(p.fsck_findings for p in self.crash_points)
         if self.failures:
             lines.append(f"FAILURES ({len(self.failures)}):")
             lines.extend(f"  {f}" for f in self.failures)
         else:
             lines.append(
-                "all recoveries prefix-consistent, leak-free, restorable"
+                "all recoveries prefix-consistent, leak-free, restorable; "
+                f"fsck clean or exactly repaired ({repaired} findings repaired)"
             )
         return "\n".join(lines)
 
@@ -234,6 +266,12 @@ def run_workload(kernel: Kernel, device: NvmeDevice,
             store.flush_barrier()
             gc.collect()
     sls.barrier(group)
+    # Online scrub over everything just written: each bounded step is
+    # its own crash site (FP_SCRUB_STEP), and the golden run must come
+    # back checksum-clean.
+    scrubber = Scrubber(store, batch_extents=SCRUB_BATCH)
+    scrubber.run()
+    state.scrub_errors = scrubber.stats.errors
     state.completed = True
     return state
 
@@ -330,6 +368,41 @@ def verify_recovery(state: WorkloadState, device: NvmeDevice,
             )
 
 
+def _verify_fsck(device: NvmeDevice, point: CrashPointResult) -> None:
+    """Oracle 4: the crashed medium fscks clean, or fsck repairs it.
+
+    ``repair_store`` on a fresh store walks superblock → snapshots →
+    records → extents with full checksum verification — strictly more
+    paranoid than ``recover()``, which trusts whatever verifies and
+    discards the rest.  The contract: zero unrepaired findings, and a
+    second (read-only) pass over the repaired store — now with the
+    allocator/refcount cross-checks live — finds nothing (repair is
+    idempotent).
+    """
+    store = ObjectStore(device)
+    try:
+        report = repair_store(store)
+    except Exception as exc:
+        point.failures.append(f"fsck repair raised: {exc}")
+        return
+    point.fsck_findings = len(report.findings)
+    point.fsck_repaired = sum(1 for f in report.findings if f.repaired)
+    point.fsck_report = report.to_dict()
+    unrepaired = [f for f in report.findings if not f.repaired]
+    if unrepaired:
+        point.failures.append(
+            f"fsck could not repair {len(unrepaired)} findings: "
+            + "; ".join(f"{f.kind}: {f.detail}" for f in unrepaired)
+        )
+        return
+    second = check_store(store)
+    if not second.clean:
+        point.failures.append(
+            f"fsck repair not idempotent: second pass found "
+            + "; ".join(f"{f.kind}: {f.detail}" for f in second.findings)
+        )
+
+
 def golden_hits(seed: int = DEFAULT_SEED) -> dict[str, int]:
     """Run the workload fault-free and count hits per sweep site (each
     site is armed far past any reachable hit so its counter runs)."""
@@ -342,6 +415,7 @@ def golden_hits(seed: int = DEFAULT_SEED) -> dict[str, int]:
     }
     state = run_workload(kernel, device, WorkloadState())
     assert state.completed, "golden run must complete fault-free"
+    assert state.scrub_errors == 0, "golden run's scrub must be clean"
     return {site: point.seen for site, point in points.items()}
 
 
@@ -363,6 +437,7 @@ def run_crash_point(site: str, index: int,
     kernel.faults.disarm()
     device.crash()
     verify_recovery(state, device, kernel, point)
+    _verify_fsck(device, point)
     return point
 
 
@@ -383,4 +458,13 @@ def run_sweep(seed: int = DEFAULT_SEED, stride: int = 1,
         step = stride if site == fault_names.FP_DEVICE_WRITE else 1
         for index in range(0, hits, step):
             report.points.append(run_crash_point(site, index, seed=seed))
+    if (seed == DEFAULT_SEED and stride == 1 and tuple(sites) == SWEEP_SITES
+            and len(report.crash_points) != EXPECTED_CRASH_POINTS):
+        report.width_drift = (
+            f"sweep width drifted: full-fidelity sweep visited "
+            f"{len(report.crash_points)} crash points but "
+            f"EXPECTED_CRASH_POINTS pins {EXPECTED_CRASH_POINTS} — a crash "
+            f"site was added or dropped; update the pin in one place "
+            f"(repro.fault.crashtest.EXPECTED_CRASH_POINTS)"
+        )
     return report

@@ -485,6 +485,17 @@ class StorageDevice:
             return self.clock.now
         return max(p.durable_at for p in self._pending)
 
+    def idlest_queue(self) -> int:
+        """The submission queue whose channel frees up earliest.
+
+        Background work (the online scrub) issues its reads here so it
+        soaks up idle multi-queue bandwidth instead of piling onto a
+        channel the foreground persist path is still draining.  Ties
+        break toward the lowest queue id for determinism.
+        """
+        return min(range(self.num_queues),
+                   key=lambda q: (self._busy_until[q], q))
+
     # -- failure model ---------------------------------------------------
 
     def crash(self) -> int:

@@ -4,6 +4,13 @@ from repro.objstore.alloc import Extent, ExtentAllocator
 from repro.objstore.block import Volume
 from repro.objstore.checksum import fletcher64, verify
 from repro.objstore.dedup import DedupEntry, DedupIndex, DedupStats
+from repro.objstore.fsck import (
+    Fsck,
+    FsckFinding,
+    FsckReport,
+    check_store,
+    repair_store,
+)
 from repro.objstore.gc import GarbageCollector, GcReport
 from repro.objstore.log import LogAppend, PersistentLog
 from repro.objstore.record import (
@@ -18,6 +25,7 @@ from repro.objstore.record import (
     pack_record,
     unpack_record,
 )
+from repro.objstore.scrub import Scrubber, ScrubStats
 from repro.objstore.snapshot import Snapshot, SnapshotDirectory
 from repro.objstore.store import (
     MAX_BATCH_EXTENT,
@@ -38,8 +46,15 @@ __all__ = [
     "DedupEntry",
     "DedupIndex",
     "DedupStats",
+    "Fsck",
+    "FsckFinding",
+    "FsckReport",
+    "check_store",
+    "repair_store",
     "GarbageCollector",
     "GcReport",
+    "Scrubber",
+    "ScrubStats",
     "LogAppend",
     "PersistentLog",
     "KIND_FILEDATA",

@@ -160,6 +160,29 @@ class ExtentAllocator:
                 return
         raise ValueError(f"extent {extent} is not free (overlap or double reserve)")
 
+    def free_extents(self) -> list[Extent]:
+        """The free list as extents (sorted, disjoint, coalesced)."""
+        return [Extent(offset=start, length=end - start)
+                for start, end in self._free]
+
+    def allocated_extents(self) -> list[Extent]:
+        """Complement of the free list within [base, base+size).
+
+        The allocator's view of what is in use — fsck audits this
+        against what the snapshot directory actually references to
+        find leaks (allocated, unreferenced) and untracked extents
+        (referenced, unallocated).
+        """
+        out: list[Extent] = []
+        pos = self.base
+        for start, end in self._free:
+            if start > pos:
+                out.append(Extent(offset=pos, length=start - pos))
+            pos = end
+        if pos < self.base + self.size:
+            out.append(Extent(offset=pos, length=self.base + self.size - pos))
+        return out
+
     def fragmentation(self) -> float:
         """1 - (largest free run / total free); 0 when unfragmented."""
         if not self._free:

@@ -1,0 +1,853 @@
+"""Offline check and repair for the object store (``sls fsck``).
+
+The crash sweep (FAULTS.md) proves that a *well-behaved* power cut
+tears at most the not-yet-named checkpoint.  Fsck covers everything
+else: latent media corruption, reference-counting bugs, allocator
+drift — damage the recovery path's happy case would silently carry
+forward.  The checker walks the store the way recovery does —
+superblock → snapshot directory → manifests → records → extents —
+but instead of discarding what fails, it classifies every fault and
+(in repair mode) rebuilds the store to a consistent state, salvaging
+what still verifies into a ``lost+found/`` snapshot.
+
+Corruption classes (RECOVERY.md documents each with its on-media
+shape and the repair decision):
+
+- ``checksum-corrupt`` — a referenced record fails its Fletcher-64
+  checksum, or page content no longer matches its content hash.
+- ``dangling-ref`` — a manifest references an extent outside the data
+  area, or the record found there has the wrong kind or oid.
+- ``double-alloc`` — two references with different identities claim
+  overlapping byte ranges (the allocator handed out space twice).
+- ``refcount-drift`` — the in-memory dedup index or metadata refcounts
+  disagree with the counts implied by the reachable manifests.
+- ``orphan-extent`` — the allocator holds space nothing references
+  (a leak); repair reclaims it into the free list.
+- ``untracked-extent`` — a reachable record whose extent the allocator
+  believes is free; repair re-reserves it before it can be clobbered.
+
+Two entry points:
+
+- :func:`check_store` — read-only; never writes to the device.
+- :func:`repair_store` — rebuilds the store's in-memory state from the
+  repaired truth and persists the repairs (quarantine manifests plus a
+  new superblock, ordered behind them by ``release_ns`` exactly like a
+  commit).  Repair is idempotent: a second fsck reports zero findings.
+
+The online counterpart (continuous verification on idle queues) is
+:mod:`repro.objstore.scrub`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ChecksumError, ObjectStoreError, PowerCut
+from repro.fault import names as fault_names
+from repro.obs import names as obs_names
+from repro.objstore.alloc import Extent, ExtentAllocator
+from repro.objstore.dedup import DedupIndex
+from repro.objstore.record import (
+    KIND_MANIFEST,
+    KIND_META,
+    KIND_PAGE,
+    decode,
+    encode,
+    unpack_record,
+)
+from repro.objstore.snapshot import Snapshot, SnapshotDirectory
+from repro.objstore.store import MetaRef, ObjectStore, PageRef
+
+# --- corruption classes -------------------------------------------------------
+
+CHECKSUM_CORRUPT = "checksum-corrupt"
+DANGLING_REF = "dangling-ref"
+DOUBLE_ALLOC = "double-alloc"
+REFCOUNT_DRIFT = "refcount-drift"
+ORPHAN_EXTENT = "orphan-extent"
+UNTRACKED_EXTENT = "untracked-extent"
+
+FINDING_KINDS = (
+    CHECKSUM_CORRUPT,
+    DANGLING_REF,
+    DOUBLE_ALLOC,
+    REFCOUNT_DRIFT,
+    ORPHAN_EXTENT,
+    UNTRACKED_EXTENT,
+)
+
+#: quarantined snapshots are renamed under this prefix; the suffix
+#: carries the original snap_id so repeated quarantines never collide
+LOST_AND_FOUND = "lost+found/"
+
+
+@dataclass
+class FsckFinding:
+    """One classified fault, plus what repair did (or would do) about it."""
+
+    kind: str
+    detail: str
+    snapshot: Optional[str] = None
+    offset: int = 0
+    length: int = 0
+    repaired: bool = False
+    #: planned/applied remedy: quarantine, reclaim, reserve,
+    #: rebuild-refcounts, drop-snapshot, report-only
+    action: str = "report-only"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "snapshot": self.snapshot,
+            "offset": self.offset,
+            "length": self.length,
+            "repaired": self.repaired,
+            "action": self.action,
+        }
+
+
+@dataclass
+class FsckReport:
+    """Structured result of one fsck pass (``to_json`` for CI artifacts)."""
+
+    repair: bool = False
+    generation: int = 0
+    snapshots_checked: int = 0
+    records_verified: int = 0
+    pages_verified: int = 0
+    bytes_verified: int = 0
+    findings: list[FsckFinding] = field(default_factory=list)
+    #: lost+found snapshot names created by repair
+    quarantined: list[str] = field(default_factory=list)
+    #: bytes returned to the allocator (orphans + deferred garbage)
+    bytes_reclaimed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def repaired_all(self) -> bool:
+        return all(f.repaired for f in self.findings)
+
+    def counts(self) -> dict[str, int]:
+        out = {kind: 0 for kind in FINDING_KINDS}
+        for finding in self.findings:
+            out[finding.kind] = out.get(finding.kind, 0) + 1
+        return {kind: n for kind, n in out.items() if n}
+
+    def to_dict(self) -> dict:
+        return {
+            "repair": self.repair,
+            "generation": self.generation,
+            "snapshots_checked": self.snapshots_checked,
+            "records_verified": self.records_verified,
+            "pages_verified": self.pages_verified,
+            "bytes_verified": self.bytes_verified,
+            "findings": [f.to_dict() for f in self.findings],
+            "quarantined": self.quarantined,
+            "bytes_reclaimed": self.bytes_reclaimed,
+            "clean": self.clean,
+            "repaired_all": self.repaired_all,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def summary(self) -> str:
+        mode = "repair" if self.repair else "check"
+        lines = [
+            f"fsck ({mode}): generation {self.generation}, "
+            f"{self.snapshots_checked} snapshots, "
+            f"{self.records_verified} records, "
+            f"{self.pages_verified} pages verified"
+        ]
+        if self.clean:
+            lines.append("  clean: no findings")
+            return "\n".join(lines)
+        for kind, n in sorted(self.counts().items()):
+            lines.append(f"  {kind:<18} {n:>4}")
+        for finding in self.findings:
+            mark = "repaired" if finding.repaired else "UNREPAIRED"
+            where = f" [{finding.snapshot}]" if finding.snapshot else ""
+            lines.append(
+                f"    {finding.kind}{where}: {finding.detail}"
+                f" -> {finding.action} ({mark})"
+            )
+        if self.quarantined:
+            lines.append(f"  quarantined: {', '.join(self.quarantined)}")
+        if self.bytes_reclaimed:
+            lines.append(f"  reclaimed {self.bytes_reclaimed} bytes")
+        return "\n".join(lines)
+
+
+@dataclass
+class _SnapshotWalk:
+    """Verification state for one snapshot during the walk."""
+
+    snapshot: Snapshot
+    manifest_ok: bool = False
+    meta: object = None
+    #: refs that verified end-to-end (salvageable)
+    records: list[MetaRef] = field(default_factory=list)
+    pages: list[PageRef] = field(default_factory=list)
+    #: refs that parsed out of the manifest but failed verification
+    bad_records: list[MetaRef] = field(default_factory=list)
+    bad_pages: list[PageRef] = field(default_factory=list)
+    damaged: bool = False
+
+
+@dataclass
+class _Claim:
+    """One reference's claim on a byte range of the data area."""
+
+    offset: int
+    end: int
+    identity: tuple
+    snap_id: int  # -1 for non-snapshot claimants (log regions)
+    owner: Optional[_SnapshotWalk]
+
+
+class Fsck:
+    """One fsck pass over ``store``'s backing device.
+
+    The walk reads the *media* superblock (not the in-memory
+    directory), so the same pass works offline on a freshly booted
+    store after a crash and online against a live one.  The
+    allocator/refcount cross-checks need in-memory state to compare
+    against, so they run only when the store has any (live or
+    recovered); :func:`repair_store` always rebuilds that state from
+    the repaired truth, after which a second pass checks everything.
+    """
+
+    def __init__(self, store: ObjectStore, repair: bool = False):
+        self.store = store
+        self.repair = repair
+        self.report = FsckReport(repair=repair)
+        self.directory = SnapshotDirectory()
+        self.walks: list[_SnapshotWalk] = []
+        #: (offset, length) -> verification outcome, so records shared
+        #: across snapshots are read once
+        self._verified: dict[tuple[int, int], tuple] = {}
+        self._superblock_lost = False
+
+    # -- phase 0: directory ----------------------------------------------------
+
+    def _read_directory(self) -> None:
+        super_read = self.store.volume.read_superblock()
+        if super_read is None:
+            if self.store.directory.snapshots:
+                self._superblock_lost = True
+                self.report.findings.append(FsckFinding(
+                    kind=CHECKSUM_CORRUPT,
+                    detail="no valid superblock in either slot but the live "
+                           "directory is non-empty: directory unrecoverable "
+                           "from media",
+                    action="report-only",
+                ))
+            return
+        generation, payload = super_read
+        self.report.generation = generation
+        try:
+            self.directory = SnapshotDirectory.decode(decode(payload))
+        except (ObjectStoreError, ValueError, KeyError, TypeError) as exc:
+            self._superblock_lost = True
+            self.report.findings.append(FsckFinding(
+                kind=CHECKSUM_CORRUPT,
+                detail=f"superblock generation {generation} payload does not "
+                       f"decode as a directory: {exc}",
+                action="report-only",
+            ))
+
+    # -- phase 1: walk every snapshot ------------------------------------------
+
+    def _in_bounds(self, extent: Extent) -> bool:
+        volume = self.store.volume
+        return (extent.offset >= volume.data_base
+                and extent.end <= volume.data_base + volume.data_size
+                and extent.length > 0)
+
+    def _verify_extent(self, extent: Extent) -> tuple:
+        """Read + verify one record extent; memoized by (offset, length).
+
+        Returns ``("meta", kind, oid, payload)`` on success or
+        ``("bad", finding_kind, detail)`` on failure.
+        """
+        key = (extent.offset, extent.length)
+        cached = self._verified.get(key)
+        if cached is not None:
+            return cached
+        if not self._in_bounds(extent):
+            result = ("bad", DANGLING_REF,
+                      f"extent [{extent.offset}, {extent.end}) outside the "
+                      f"data area")
+        else:
+            try:
+                raw = self.store.volume.read_data(extent.offset, extent.length)
+                header, payload = unpack_record(raw)
+            except ChecksumError as exc:
+                result = ("bad", CHECKSUM_CORRUPT,
+                          f"record at {extent.offset} fails verification: {exc}")
+            except ObjectStoreError as exc:
+                result = ("bad", DANGLING_REF,
+                          f"no parseable record at {extent.offset}: {exc}")
+            else:
+                result = ("meta", header.kind, header.oid, payload)
+                self.report.bytes_verified += extent.length
+        self._verified[key] = result
+        return result
+
+    def _walk_snapshot(self, snapshot: Snapshot) -> _SnapshotWalk:
+        walk = _SnapshotWalk(snapshot=snapshot)
+        outcome = self._verify_extent(snapshot.manifest_extent)
+        if outcome[0] == "bad":
+            walk.damaged = True
+            self.report.findings.append(FsckFinding(
+                kind=outcome[1], snapshot=snapshot.name,
+                offset=snapshot.manifest_extent.offset,
+                length=snapshot.manifest_extent.length,
+                detail=f"manifest unreadable: {outcome[2]}",
+                action="drop-snapshot",
+            ))
+            return walk
+        _tag, kind, _oid, payload = outcome
+        if kind != KIND_MANIFEST:
+            walk.damaged = True
+            self.report.findings.append(FsckFinding(
+                kind=DANGLING_REF, snapshot=snapshot.name,
+                offset=snapshot.manifest_extent.offset,
+                length=snapshot.manifest_extent.length,
+                detail=f"manifest extent holds a kind-{kind} record",
+                action="drop-snapshot",
+            ))
+            return walk
+        try:
+            value = decode(payload)
+            records = [MetaRef(oid=oid, extent=Extent(off, length))
+                       for oid, off, length in value["records"]]
+            pages = [PageRef(content_hash=h, extent=Extent(off, elen), length=plen)
+                     for h, off, elen, plen in value["pages"]]
+            walk.meta = value["meta"]
+        except (ObjectStoreError, ValueError, KeyError, TypeError) as exc:
+            walk.damaged = True
+            self.report.findings.append(FsckFinding(
+                kind=CHECKSUM_CORRUPT, snapshot=snapshot.name,
+                offset=snapshot.manifest_extent.offset,
+                length=snapshot.manifest_extent.length,
+                detail=f"manifest payload does not decode: {exc}",
+                action="drop-snapshot",
+            ))
+            return walk
+        walk.manifest_ok = True
+
+        for ref in records:
+            outcome = self._verify_extent(ref.extent)
+            problem: Optional[tuple[str, str]] = None
+            if outcome[0] == "bad":
+                problem = (outcome[1], outcome[2])
+            elif outcome[1] != KIND_META:
+                problem = (DANGLING_REF,
+                           f"record ref at {ref.extent.offset} resolves to a "
+                           f"kind-{outcome[1]} record, expected metadata")
+            elif outcome[2] != ref.oid:
+                problem = (DANGLING_REF,
+                           f"record at {ref.extent.offset} belongs to oid "
+                           f"{outcome[2]}, manifest claims {ref.oid}")
+            if problem is not None:
+                walk.damaged = True
+                walk.bad_records.append(ref)
+                self.report.findings.append(FsckFinding(
+                    kind=problem[0], snapshot=snapshot.name,
+                    offset=ref.extent.offset, length=ref.extent.length,
+                    detail=problem[1], action="quarantine",
+                ))
+            else:
+                walk.records.append(ref)
+                self.report.records_verified += 1
+
+        for ref in pages:
+            outcome = self._verify_extent(ref.extent)
+            problem = None
+            if outcome[0] == "bad":
+                problem = (outcome[1], outcome[2])
+            elif outcome[1] != KIND_PAGE:
+                problem = (DANGLING_REF,
+                           f"page ref at {ref.extent.offset} resolves to a "
+                           f"kind-{outcome[1]} record, expected page data")
+            elif ObjectStore.page_hash(outcome[3]) != ref.content_hash:
+                problem = (CHECKSUM_CORRUPT,
+                           f"page at {ref.extent.offset} no longer matches "
+                           f"its content hash")
+            if problem is not None:
+                walk.damaged = True
+                walk.bad_pages.append(ref)
+                self.report.findings.append(FsckFinding(
+                    kind=problem[0], snapshot=snapshot.name,
+                    offset=ref.extent.offset, length=ref.extent.length,
+                    detail=problem[1], action="quarantine",
+                ))
+            else:
+                walk.pages.append(ref)
+                self.report.pages_verified += 1
+        return walk
+
+    def _walk_snapshots(self) -> None:
+        for snap_id in sorted(self.directory.snapshots):
+            snapshot = self.directory.snapshots[snap_id]
+            self.report.snapshots_checked += 1
+            self.walks.append(self._walk_snapshot(snapshot))
+
+    # -- phase 2: cross-snapshot claims (double allocation) --------------------
+
+    def _claims(self) -> list[_Claim]:
+        """Every parsed reference's claim, deduplicated by identity.
+
+        Identity is what makes sharing legal: two snapshots listing the
+        same record (same offset, length, kind-class) or the same page
+        content hash collapse to one claim.  Overlapping claims with
+        *different* identities mean the allocator handed the same bytes
+        out twice.
+        """
+        unique: dict[tuple, _Claim] = {}
+
+        def add(offset: int, length: int, identity: tuple,
+                snap_id: int, owner: Optional[_SnapshotWalk]) -> None:
+            key = (offset, length, identity)
+            existing = unique.get(key)
+            if existing is None or (existing.snap_id > snap_id >= 0):
+                unique[key] = _Claim(offset=offset, end=offset + length,
+                                     identity=identity, snap_id=snap_id,
+                                     owner=owner)
+
+        for walk in self.walks:
+            snapshot = walk.snapshot
+            if walk.manifest_ok:
+                ext = snapshot.manifest_extent
+                add(ext.offset, ext.length, ("manifest", snapshot.snap_id),
+                    snapshot.snap_id, walk)
+            for ref in walk.records + walk.bad_records:
+                if self._in_bounds(ref.extent):
+                    add(ref.extent.offset, ref.extent.length,
+                        ("rec", ref.extent.offset, ref.extent.length),
+                        snapshot.snap_id, walk)
+            for ref in walk.pages + walk.bad_pages:
+                if self._in_bounds(ref.extent):
+                    add(ref.extent.offset, ref.extent.length,
+                        ("page", ref.content_hash),
+                        snapshot.snap_id, walk)
+        for oid, log in self.store._logs.items():
+            add(log.region.offset, log.region.length, ("log", oid), -1, None)
+        return sorted(unique.values(), key=lambda c: (c.offset, c.snap_id))
+
+    def _check_double_alloc(self, claims: list[_Claim]) -> None:
+        """Scan for overlapping claims; the younger claimant loses.
+
+        A double allocation means one of the claimants' bytes were
+        overwritten; the record that still verifies is the one written
+        last, but the *older* claimant (lower snap_id, or a log region)
+        keeps the space so history stays intact — the younger snapshot
+        is quarantined with the contested reference dropped.
+        """
+        by_end: list[_Claim] = []
+        for claim in claims:
+            for other in by_end:
+                if other.end <= claim.offset:
+                    continue
+                if other.identity == claim.identity:
+                    continue
+                loser = claim if claim.snap_id >= other.snap_id else other
+                winner = other if loser is claim else claim
+                self.report.findings.append(FsckFinding(
+                    kind=DOUBLE_ALLOC,
+                    snapshot=(loser.owner.snapshot.name
+                              if loser.owner else None),
+                    offset=max(claim.offset, other.offset),
+                    length=(min(claim.end, other.end)
+                            - max(claim.offset, other.offset)),
+                    detail=f"claims {winner.identity[0]}@{winner.offset} and "
+                           f"{loser.identity[0]}@{loser.offset} overlap; "
+                           f"older claimant keeps the bytes",
+                    action="quarantine" if loser.owner else "report-only",
+                ))
+                if loser.owner is not None:
+                    self._drop_claim(loser)
+            by_end.append(claim)
+
+    def _drop_claim(self, claim: _Claim) -> None:
+        """Drop the losing reference from *every* walk that shares it."""
+        if claim.identity[0] == "manifest":
+            claim.owner.damaged = True
+            claim.owner.manifest_ok = False
+            return
+        for walk in self.walks:
+            if claim.identity[0] == "rec":
+                dropped = [r for r in walk.records
+                           if r.extent.offset == claim.offset]
+                if dropped:
+                    walk.damaged = True
+                    walk.records = [r for r in walk.records
+                                    if r.extent.offset != claim.offset]
+                    walk.bad_records.extend(dropped)
+            else:
+                dropped = [p for p in walk.pages
+                           if p.extent.offset == claim.offset]
+                if dropped:
+                    walk.damaged = True
+                    walk.pages = [p for p in walk.pages
+                                  if p.extent.offset != claim.offset]
+                    walk.bad_pages.extend(dropped)
+
+    # -- phase 3: in-memory cross-checks (refcounts, allocator) ----------------
+
+    @property
+    def _live(self) -> bool:
+        """True when the store carries in-memory state to audit."""
+        return (self.store.allocator.allocated_bytes > 0
+                or bool(self.store.directory.snapshots))
+
+    def _expected_refcounts(self) -> tuple[dict[bytes, int], dict[int, int]]:
+        """Refcounts implied by every parseable manifest (good and bad
+        refs alike — commits counted both, so drift means a counting
+        bug, not corruption of the referenced bytes)."""
+        pages: dict[bytes, int] = {}
+        metas: dict[int, int] = {}
+        for walk in self.walks:
+            if walk.manifest_ok:
+                off = walk.snapshot.manifest_extent.offset
+                metas[off] = metas.get(off, 0) + 1
+            for ref in walk.records + walk.bad_records:
+                off = ref.extent.offset
+                metas[off] = metas.get(off, 0) + 1
+            for ref in walk.pages + walk.bad_pages:
+                h = ref.content_hash
+                pages[h] = pages.get(h, 0) + 1
+        return pages, metas
+
+    def _check_refcounts(self) -> None:
+        expected_pages, expected_metas = self._expected_refcounts()
+        dedup = self.store.dedup
+        for h, expected in sorted(expected_pages.items()):
+            actual = dedup.refcount(h)
+            if actual != expected:
+                self.report.findings.append(FsckFinding(
+                    kind=REFCOUNT_DRIFT,
+                    detail=f"dedup refcount for page {h.hex()[:12]} is "
+                           f"{actual}, manifests imply {expected}",
+                    action="rebuild-refcounts",
+                ))
+        for h, entry in sorted(dedup.entries().items()):
+            if h not in expected_pages and entry.refcount > 0:
+                self.report.findings.append(FsckFinding(
+                    kind=REFCOUNT_DRIFT,
+                    offset=entry.extent.offset, length=entry.extent.length,
+                    detail=f"dedup entry {h.hex()[:12]} holds refcount "
+                           f"{entry.refcount} but no manifest references it",
+                    action="rebuild-refcounts",
+                ))
+        meta_refs = self.store._meta_refs
+        for off, expected in sorted(expected_metas.items()):
+            _, actual = meta_refs.get(off, (None, 0))
+            if actual != expected:
+                self.report.findings.append(FsckFinding(
+                    kind=REFCOUNT_DRIFT, offset=off,
+                    detail=f"metadata refcount at {off} is {actual}, "
+                           f"manifests imply {expected}",
+                    action="rebuild-refcounts",
+                ))
+        for off, (extent, count) in sorted(meta_refs.items()):
+            if off not in expected_metas and count > 0:
+                self.report.findings.append(FsckFinding(
+                    kind=REFCOUNT_DRIFT, offset=off, length=extent.length,
+                    detail=f"metadata refcount at {off} is {count} but no "
+                           f"manifest references it",
+                    action="rebuild-refcounts",
+                ))
+
+    @staticmethod
+    def _union(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+        merged: list[list[int]] = []
+        for start, end in sorted(intervals):
+            if merged and start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], end)
+            else:
+                merged.append([start, end])
+        return [(s, e) for s, e in merged]
+
+    @staticmethod
+    def _subtract(base: list[tuple[int, int]],
+                  cut: list[tuple[int, int]]) -> list[tuple[int, int]]:
+        """Interval subtraction ``base - cut`` (both sorted, disjoint)."""
+        out: list[tuple[int, int]] = []
+        for start, end in base:
+            pos = start
+            for c_start, c_end in cut:
+                if c_end <= pos or c_start >= end:
+                    continue
+                if c_start > pos:
+                    out.append((pos, c_start))
+                pos = max(pos, c_end)
+                if pos >= end:
+                    break
+            if pos < end:
+                out.append((pos, end))
+        return out
+
+    def _claimed_intervals(self, claims: list[_Claim],
+                           include_unreachable: bool) -> list[tuple[int, int]]:
+        """Byte ranges something legitimately accounts for.
+
+        ``include_unreachable`` adds claims that are allocator-tracked
+        but not snapshot-reachable — deferred garbage, open-batch
+        buffers, pending dedup entries — which the orphan audit must
+        not flag (they are accounted for, just not yet durable or not
+        yet reclaimed).
+        """
+        intervals = [(c.offset, c.end) for c in claims]
+        if include_unreachable:
+            store = self.store
+            intervals.extend((e.offset, e.end) for e in store.garbage)
+            if store._open_batch is not None:
+                intervals.extend(
+                    (extent.offset, extent.end)
+                    for extent, _record, _logical in store._open_batch._items
+                )
+            intervals.extend(
+                (entry.extent.offset, entry.extent.end)
+                for entry in store.dedup.entries().values()
+            )
+            intervals.extend(
+                (extent.offset, extent.end)
+                for extent, _count in store._meta_refs.values()
+            )
+        return self._union(intervals)
+
+    def _check_allocator(self, claims: list[_Claim]) -> None:
+        allocated = self.store.allocator.allocated_extents()
+        allocated_iv = [(e.offset, e.end) for e in allocated]
+        claimed = self._claimed_intervals(claims, include_unreachable=True)
+        for start, end in self._subtract(allocated_iv, claimed):
+            self.report.findings.append(FsckFinding(
+                kind=ORPHAN_EXTENT, offset=start, length=end - start,
+                detail=f"allocator holds [{start}, {end}) but nothing "
+                       f"references it (leaked {end - start} bytes)",
+                action="reclaim",
+            ))
+        reachable = self._claimed_intervals(claims, include_unreachable=False)
+        for start, end in self._subtract(reachable, allocated_iv):
+            self.report.findings.append(FsckFinding(
+                kind=UNTRACKED_EXTENT, offset=start, length=end - start,
+                detail=f"reachable bytes [{start}, {end}) are marked free in "
+                       f"the allocator and could be clobbered",
+                action="reserve",
+            ))
+
+    # -- phase 4: repair --------------------------------------------------------
+
+    def _quarantine_plans(self) -> list[_SnapshotWalk]:
+        """Damaged snapshots with anything left to salvage."""
+        return [
+            walk for walk in self.walks
+            if walk.damaged and walk.manifest_ok
+            and (walk.records or walk.pages)
+        ]
+
+    def _rebuild_in_memory(self, intact: list[_SnapshotWalk],
+                           plans: list[_SnapshotWalk]) -> None:
+        """Rebuild allocator/dedup/refcounts/directory from the
+        repaired truth: the union of every surviving reference.
+        Orphans and deferred garbage are simply not reserved — that is
+        the leak reclaim.  Touches only in-memory state."""
+        store = self.store
+        allocator = ExtentAllocator(
+            base=store.volume.data_base, size=store.volume.data_size,
+            num_shards=store.num_shards,
+        )
+        allocator.faults = store.faults
+        keep: dict[int, Extent] = {}
+        for walk in intact:
+            keep[walk.snapshot.manifest_extent.offset] = \
+                walk.snapshot.manifest_extent
+        for walk in intact + plans:
+            for ref in walk.records:
+                keep[ref.extent.offset] = ref.extent
+            for ref in walk.pages:
+                keep[ref.extent.offset] = ref.extent
+        for extent in keep.values():
+            allocator.reserve(extent)
+        for log in store._logs.values():
+            allocator.reserve(log.region)
+
+        dedup = DedupIndex()
+        meta_refs: dict[int, tuple[Extent, int]] = {}
+        directory = SnapshotDirectory()
+        directory.next_id = max(self.directory.next_id,
+                                store.directory.next_id)
+        for walk in intact:
+            snapshot = walk.snapshot
+            directory.add(snapshot)
+            off = snapshot.manifest_extent.offset
+            extent, count = meta_refs.get(off, (snapshot.manifest_extent, 0))
+            meta_refs[off] = (extent, count + 1)
+            for ref in walk.records:
+                extent, count = meta_refs.get(ref.extent.offset, (ref.extent, 0))
+                meta_refs[ref.extent.offset] = (extent, count + 1)
+            for ref in walk.pages:
+                if ref.content_hash not in dedup.entries():
+                    dedup.insert(ref.content_hash, ref.extent)
+                dedup.hold(ref.content_hash, nbytes=ref.length)
+        for walk in plans:
+            for ref in walk.pages:
+                if ref.content_hash not in dedup.entries():
+                    dedup.insert(ref.content_hash, ref.extent)
+
+        store.allocator = allocator
+        store.dedup = dedup
+        store._meta_refs = meta_refs
+        store.directory = directory
+        store.garbage = []
+        store._open_batch = None
+
+    def _apply_repairs(self) -> None:
+        """Rebuild the store to the repaired truth and persist it.
+
+        Ordering mirrors a commit: the repair failpoint fires first, a
+        durability barrier fences any in-flight writes (freed space
+        must never be reused while an older superblock could still
+        name it), quarantine manifests are written as ordinary records,
+        and the new superblock goes out ordered behind them via
+        ``release_ns``.
+        """
+        store = self.store
+        if store.faults is not None:
+            action = store.faults.fire(
+                fault_names.FP_FSCK_REPAIR,
+                store=store.device.name, findings=len(self.report.findings),
+            )
+            if action is not None:
+                if action.kind == "crash":
+                    raise PowerCut(
+                        action.reason or "power cut during fsck repair",
+                        at_ns=store.device.clock.now,
+                    )
+                if action.kind == "fail":
+                    raise ObjectStoreError(
+                        action.reason or "injected fsck repair failure"
+                    )
+        store.flush_barrier()
+        before_allocated = store.allocator.allocated_bytes
+
+        intact = [walk for walk in self.walks if not walk.damaged]
+        plans = self._quarantine_plans()
+        self._rebuild_in_memory(intact, plans)
+        dedup = store.dedup
+        meta_refs = store._meta_refs
+        directory = store.directory
+
+        # Quarantine: each damaged-but-salvageable snapshot gets a
+        # lost+found manifest listing only its still-verifying refs.
+        for walk in plans:
+            original = walk.snapshot
+            name = f"{LOST_AND_FOUND}{original.name}@{original.snap_id}"
+            manifest_value = {
+                "meta": {"quarantined": original.name,
+                         "original_snap_id": original.snap_id,
+                         "fsck": True},
+                "records": [[r.oid, r.extent.offset, r.extent.length]
+                            for r in walk.records],
+                "pages": [[p.content_hash, p.extent.offset,
+                           p.extent.length, p.length]
+                          for p in walk.pages],
+            }
+            manifest_extent = store._write_record(
+                KIND_MANIFEST, 0, original.epoch, encode(manifest_value),
+                sync=False,
+            )
+            snapshot = Snapshot(
+                snap_id=directory.allocate_id(),
+                name=name,
+                epoch=original.epoch,
+                created_at_ns=store.device.clock.now,
+                manifest_extent=manifest_extent,
+                parent_id=None,
+                delta_bytes=0,
+                logical_bytes=sum(p.length for p in walk.pages),
+            )
+            meta_refs[manifest_extent.offset] = (manifest_extent, 1)
+            for ref in walk.records:
+                extent, count = meta_refs.get(ref.extent.offset, (ref.extent, 0))
+                meta_refs[ref.extent.offset] = (extent, count + 1)
+            for ref in walk.pages:
+                dedup.hold(ref.content_hash, nbytes=ref.length)
+            directory.add(snapshot)
+            self.report.quarantined.append(name)
+
+        # The repaired superblock, ordered behind the quarantine
+        # records on every queue exactly like a commit's.
+        store.volume.write_superblock(
+            encode(directory.encode()), sync=False,
+            release_ns=store.device.pending_deadline(),
+        )
+        self.report.bytes_reclaimed = max(
+            0, before_allocated - store.allocator.allocated_bytes
+        )
+        for finding in self.report.findings:
+            if finding.action != "report-only":
+                finding.repaired = True
+        if store.obs is not None:
+            reg = store.obs.registry
+            reg.counter(obs_names.C_FSCK_FINDINGS,
+                        store=store.device.name).inc(len(self.report.findings))
+            reg.counter(obs_names.C_FSCK_REPAIRS, store=store.device.name).inc(
+                sum(1 for f in self.report.findings if f.repaired)
+            )
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self) -> FsckReport:
+        if self.repair and self.store._open_batch is not None \
+                and len(self.store._open_batch):
+            raise ObjectStoreError(
+                "fsck repair needs a quiescent store: an open write batch "
+                "still buffers records (flush or commit first)"
+            )
+        self._read_directory()
+        if self._superblock_lost:
+            # Nothing downstream is meaningful without a directory, and
+            # repair must never "fix" this by writing an empty one over
+            # whatever the slots still hold.
+            return self.report
+        self._walk_snapshots()
+        claims = self._claims()
+        self._check_double_alloc(claims)
+        if self._live:
+            self._check_refcounts()
+            self._check_allocator(claims)
+        if self.repair:
+            if self.report.findings:
+                self._apply_repairs()
+            elif not self._live:
+                # Clean media, fresh store: adopt the verified state
+                # without touching the device (recover()-equivalent).
+                self._rebuild_in_memory(self.walks, [])
+        if self.report.clean:
+            # A clean verdict is trusted until the next superblock
+            # write (see the sls_send DR gate): cache the generation
+            # it covers so repeat callers skip the full walk.
+            self.store._fsck_clean_generation = self.store.volume.generation
+        return self.report
+
+
+def check_store(store: ObjectStore) -> FsckReport:
+    """Read-only fsck pass; never writes to the device."""
+    return Fsck(store, repair=False).run()
+
+
+def repair_store(store: ObjectStore) -> FsckReport:
+    """Fsck with repairs: leaves ``store`` recovered to the repaired
+    truth (usable like after :meth:`~repro.objstore.store.ObjectStore.recover`,
+    persistent logs excepted — reopen them by region) and persists the
+    quarantine records and new superblock when anything was damaged."""
+    return Fsck(store, repair=True).run()

@@ -1,0 +1,258 @@
+"""Online scrub: background checksum verification of the object store.
+
+Where :mod:`repro.objstore.fsck` is the offline tool you run *after*
+suspecting damage, the scrubber is how damage gets noticed while the
+store is live: it walks every extent reachable from the snapshot
+directory in bounded steps, reads each record on whichever submission
+queue is idlest (:meth:`~repro.hw.device.StorageDevice.idlest_queue` —
+the scrub soaks up idle multi-queue bandwidth rather than contending
+with the persist path on one channel), and verifies record checksums
+plus page content hashes.
+
+Progress and errors export through ``repro.obs``
+(``objstore.scrub.progress_permille``,
+``objstore.scrub.extents_verified_total``,
+``objstore.scrub.errors_total``) so ``sls stats`` can render a scrub
+table.  Errors are reported as :class:`~repro.objstore.fsck.FsckFinding`
+values in the same vocabulary fsck uses — a failed scrub hands its
+findings straight to ``sls fsck --repair``.
+
+Failpoint ``objstore.scrub.step`` fires at every step boundary, which
+also makes each step a crash point in the ``sls crashtest`` sweep: a
+power cut mid-scrub must leave nothing to repair, since scrubbing only
+reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ChecksumError, ObjectStoreError, PowerCut
+from repro.fault import names as fault_names
+from repro.obs import names as obs_names
+from repro.objstore.alloc import Extent
+from repro.objstore.fsck import CHECKSUM_CORRUPT, DANGLING_REF, FsckFinding
+from repro.objstore.record import KIND_MANIFEST, KIND_META, KIND_PAGE, unpack_record
+from repro.objstore.store import ObjectStore
+
+#: default number of extents verified per scrub step — small enough
+#: that one step never monopolizes the device, large enough that a
+#: full pass over a checkpoint workload takes a handful of steps
+DEFAULT_BATCH_EXTENTS = 16
+
+
+@dataclass
+class _WorkItem:
+    extent: Extent
+    expect_kind: int
+    #: content hash for pages, oid for metadata records, None for manifests
+    expect: Optional[object]
+    snapshot: str
+
+
+@dataclass
+class ScrubStats:
+    extents_total: int = 0
+    extents_verified: int = 0
+    bytes_verified: int = 0
+    errors: int = 0
+    steps: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.extents_verified >= self.extents_total
+
+    @property
+    def progress_permille(self) -> int:
+        if not self.extents_total:
+            return 1000
+        return min(1000, self.extents_verified * 1000 // self.extents_total)
+
+
+class Scrubber:
+    """One bounded-step verification pass over a live store.
+
+    The worklist snapshots the directory at construction; run
+    :meth:`step` from any idle moment (or :meth:`run` to completion).
+    A scrubber never writes — repair belongs to fsck.
+    """
+
+    def __init__(self, store: ObjectStore,
+                 batch_extents: int = DEFAULT_BATCH_EXTENTS):
+        if batch_extents < 1:
+            raise ValueError("scrub batch must verify at least one extent")
+        self.store = store
+        self.batch_extents = batch_extents
+        self.stats = ScrubStats()
+        self.findings: list[FsckFinding] = []
+        self._cursor = 0
+        self._worklist = self._build_worklist()
+        self.stats.extents_total = len(self._worklist)
+        self._g_progress = self._c_verified = self._c_errors = None
+        if store.obs is not None:
+            reg = store.obs.registry
+            label = store.device.name
+            self._g_progress = reg.gauge(
+                obs_names.G_SCRUB_PROGRESS, store=label
+            )
+            self._c_verified = reg.counter(
+                obs_names.C_SCRUB_EXTENTS, store=label
+            )
+            self._c_errors = reg.counter(obs_names.C_SCRUB_ERRORS, store=label)
+            self._g_progress.set(self.stats.progress_permille)
+
+    def _build_worklist(self) -> list[_WorkItem]:
+        """Every unique reachable extent, sorted by media offset so the
+        scrub reads sequentially per queue."""
+        items: dict[int, _WorkItem] = {}
+        for snapshot in self.store.snapshots():
+            ext = snapshot.manifest_extent
+            items.setdefault(ext.offset, _WorkItem(
+                extent=ext, expect_kind=KIND_MANIFEST, expect=None,
+                snapshot=snapshot.name,
+            ))
+            try:
+                _meta, records, pages = self.store.load_manifest(snapshot)
+            except (ChecksumError, ObjectStoreError, ValueError) as exc:
+                self._record_error(FsckFinding(
+                    kind=CHECKSUM_CORRUPT, snapshot=snapshot.name,
+                    offset=ext.offset, length=ext.length,
+                    detail=f"manifest unreadable while building scrub "
+                           f"worklist: {exc}",
+                ))
+                continue
+            for ref in records:
+                items.setdefault(ref.extent.offset, _WorkItem(
+                    extent=ref.extent, expect_kind=KIND_META, expect=ref.oid,
+                    snapshot=snapshot.name,
+                ))
+            for ref in pages:
+                items.setdefault(ref.extent.offset, _WorkItem(
+                    extent=ref.extent, expect_kind=KIND_PAGE,
+                    expect=ref.content_hash, snapshot=snapshot.name,
+                ))
+        return [items[off] for off in sorted(items)]
+
+    def _record_error(self, finding: FsckFinding) -> None:
+        self.findings.append(finding)
+        self.stats.errors += 1
+        if self._c_errors is not None:
+            self._c_errors.inc()
+
+    def _verify(self, item: _WorkItem, raw: bytes) -> None:
+        try:
+            header, payload = unpack_record(raw)
+        except ChecksumError as exc:
+            self._record_error(FsckFinding(
+                kind=CHECKSUM_CORRUPT, snapshot=item.snapshot,
+                offset=item.extent.offset, length=item.extent.length,
+                detail=f"record fails verification: {exc}",
+            ))
+            return
+        except ObjectStoreError as exc:
+            self._record_error(FsckFinding(
+                kind=DANGLING_REF, snapshot=item.snapshot,
+                offset=item.extent.offset, length=item.extent.length,
+                detail=f"no parseable record: {exc}",
+            ))
+            return
+        if header.kind != item.expect_kind:
+            self._record_error(FsckFinding(
+                kind=DANGLING_REF, snapshot=item.snapshot,
+                offset=item.extent.offset, length=item.extent.length,
+                detail=f"kind-{header.kind} record where kind-"
+                       f"{item.expect_kind} was referenced",
+            ))
+            return
+        if (item.expect_kind == KIND_META and item.expect is not None
+                and header.oid != item.expect):
+            self._record_error(FsckFinding(
+                kind=DANGLING_REF, snapshot=item.snapshot,
+                offset=item.extent.offset, length=item.extent.length,
+                detail=f"record belongs to oid {header.oid}, "
+                       f"reference claims {item.expect}",
+            ))
+            return
+        if (item.expect_kind == KIND_PAGE
+                and ObjectStore.page_hash(payload) != item.expect):
+            self._record_error(FsckFinding(
+                kind=CHECKSUM_CORRUPT, snapshot=item.snapshot,
+                offset=item.extent.offset, length=item.extent.length,
+                detail="page content no longer matches its content hash",
+            ))
+
+    def step(self) -> int:
+        """Verify the next batch of extents; returns how many.
+
+        Fires ``objstore.scrub.step`` before touching the device, fans
+        the batch's reads out over the idlest submission queues, then
+        advances the clock once to the slowest completion — the same
+        overlap model the restore path's coalesced reads use.
+        """
+        if self.stats.done:
+            return 0
+        store = self.store
+        batch = self._worklist[self._cursor:self._cursor + self.batch_extents]
+        if store.faults is not None:
+            action = store.faults.fire(
+                fault_names.FP_SCRUB_STEP,
+                store=store.device.name, extents=len(batch),
+            )
+            if action is not None:
+                if action.kind == "crash":
+                    raise PowerCut(
+                        action.reason or "power cut during scrub step",
+                        at_ns=store.device.clock.now,
+                    )
+                if action.kind == "fail":
+                    raise ObjectStoreError(
+                        action.reason or "injected scrub-step failure"
+                    )
+        span = None
+        if store.obs is not None:
+            span = store.obs.tracer.span(
+                obs_names.SPAN_SCRUB,
+                store=store.device.name, extents=len(batch),
+            )
+        self._cursor += len(batch)
+        deadline = store.device.clock.now
+        reads: list[tuple[_WorkItem, bytes]] = []
+        for item in batch:
+            queue = store.device.idlest_queue()
+            ticket, raw = store.volume.read_data_async(
+                item.extent.offset, item.extent.length, queue=queue
+            )
+            deadline = max(deadline, ticket.completes_at)
+            reads.append((item, raw))
+        store.device.clock.advance_to(deadline)
+        for item, raw in reads:
+            self._verify(item, raw)
+            self.stats.extents_verified += 1
+            self.stats.bytes_verified += item.extent.length
+        self.stats.steps += 1
+        if store.obs is not None:
+            self._c_verified.inc(len(batch))
+            self._g_progress.set(self.stats.progress_permille)
+            span.set(errors=self.stats.errors)
+            span.close()
+        return len(batch)
+
+    def run(self) -> ScrubStats:
+        """Step until the worklist is exhausted."""
+        while self.step():
+            pass
+        return self.stats
+
+    def summary(self) -> str:
+        lines = [
+            f"scrub: {self.stats.extents_verified}/{self.stats.extents_total} "
+            f"extents verified ({self.stats.progress_permille / 10:.1f}%) in "
+            f"{self.stats.steps} steps, {self.stats.bytes_verified} bytes"
+        ]
+        if not self.findings:
+            lines.append("  clean: no checksum errors")
+        for finding in self.findings:
+            where = f" [{finding.snapshot}]" if finding.snapshot else ""
+            lines.append(f"  {finding.kind}{where}: {finding.detail}")
+        return "\n".join(lines)

@@ -126,6 +126,9 @@ class ObjectStore:
         self._bytes_since_commit = 0
         #: failpoint plane (repro.fault); None = zero-cost disarmed
         self.faults: Optional["FailpointRegistry"] = None
+        #: volume generation covered by the last clean fsck verdict
+        #: (set by repro.objstore.fsck; consulted by the sls_send gate)
+        self._fsck_clean_generation: Optional[int] = None
         #: persistent logs carved out of this store, keyed by owner oid
         self._logs: dict[int, "PersistentLog"] = {}
 

@@ -48,6 +48,7 @@ from repro.obs.registry import (
 from repro.obs.render import (
     checkpoint_reconciliation,
     render_device_utilization,
+    render_scrub_progress,
     render_registry,
     render_span_tree,
 )
@@ -139,6 +140,7 @@ __all__ = [
     "load_jsonl",
     "names",
     "render_device_utilization",
+    "render_scrub_progress",
     "render_registry",
     "render_span_tree",
     "set_default_enabled",

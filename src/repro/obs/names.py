@@ -40,6 +40,9 @@ SPAN_RESTORE_MEMORY = "restore.memory"
 #: coalesced extent (closed out-of-order at the completion deadline)
 SPAN_STORE_BATCH = "objstore.batch.flush"
 SPAN_GC = "objstore.gc"
+#: one bounded scrub step: a batch of extent reads fanned over idle
+#: queues plus their checksum verification
+SPAN_SCRUB = "objstore.scrub"
 SPAN_FS_SNAPSHOT = "slsfs.container_snapshot"
 SPAN_FS_CLONE = "slsfs.clone"
 
@@ -80,6 +83,10 @@ C_GC_EXTENTS_FREED = "objstore.gc.extents_freed_total"
 C_GC_BYTES_FREED = "objstore.gc.bytes_freed_total"
 C_FS_SNAPSHOTS = "slsfs.container_snapshots_total"
 C_FS_CLONES = "slsfs.clones_total"
+C_SCRUB_EXTENTS = "objstore.scrub.extents_verified_total"
+C_SCRUB_ERRORS = "objstore.scrub.errors_total"
+C_FSCK_FINDINGS = "objstore.fsck.findings_total"
+C_FSCK_REPAIRS = "objstore.fsck.repairs_total"
 
 # --- gauges ------------------------------------------------------------------
 
@@ -88,6 +95,9 @@ G_SHADOW_DEPTH = "cow.shadow_chain_depth_max"
 #: integer permille (busy_ns * 1000 / elapsed_ns) — integer so metric
 #: exports stay byte-stable
 G_DEVICE_QUEUE_UTIL = "device.queue_utilization_permille"
+#: how far the online scrub has walked its worklist, 0..1000 (integer
+#: permille so metric exports stay byte-stable)
+G_SCRUB_PROGRESS = "objstore.scrub.progress_permille"
 
 # --- histograms (virtual nanoseconds) ----------------------------------------
 

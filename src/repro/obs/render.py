@@ -123,6 +123,43 @@ def render_device_utilization(registry: Registry) -> Optional[str]:
     return "\n".join(lines)
 
 
+def render_scrub_progress(registry: Registry) -> Optional[str]:
+    """Per-store scrub table from the scrubber's exported instruments.
+
+    One row per store showing progress (permille gauge rendered as a
+    percentage), extents verified, and errors found — the ``sls stats``
+    view of how far the background checksum scrub has gotten and
+    whether it has anything for ``sls fsck --repair``.  None when no
+    scrubber has published progress.
+    """
+    progress = {
+        inst.labels.get("store", "?"): inst
+        for inst in registry.collect()
+        if isinstance(inst, Gauge) and inst.name == names.G_SCRUB_PROGRESS
+    }
+    if not progress:
+        return None
+
+    def count(name: str, store: str) -> int:
+        total = 0
+        for inst in registry.collect():
+            if (isinstance(inst, Counter) and inst.name == name
+                    and inst.labels.get("store", "?") == store):
+                total += inst.value
+        return total
+
+    store_w = max(len("store"), max(len(s) for s in progress))
+    lines = [f"  {'store':<{store_w}}  scrub%  extents  errors"]
+    for store in sorted(progress):
+        pct = progress[store].value / 10.0
+        lines.append(
+            f"  {store:<{store_w}}  {pct:6.1f}"
+            f"  {count(names.C_SCRUB_EXTENTS, store):>7}"
+            f"  {count(names.C_SCRUB_ERRORS, store):>6}"
+        )
+    return "\n".join(lines)
+
+
 def render_registry(registry: Registry) -> str:
     """Counters/gauges as a table, histograms with summary stats."""
     counters = [i for i in registry.collect() if isinstance(i, (Counter, Gauge))]

@@ -1,0 +1,55 @@
+"""The ``sls fsck`` / ``sls scrub`` subcommands (RECOVERY.md's CLI)."""
+
+import json
+
+from repro.cli.main import main
+
+
+class TestFsckCommand:
+    def test_clean_store_exits_zero(self, capsys):
+        assert main(["fsck"]) == 0
+        out = capsys.readouterr().out
+        assert "clean: no findings" in out
+
+    def test_injected_damage_fails_a_bare_check(self, capsys):
+        assert main(["fsck", "--inject", "checksum"]) == 1
+        out = capsys.readouterr().out
+        assert "injected:" in out
+        assert "checksum-corrupt" in out
+
+    def test_repair_fixes_and_rechecks(self, capsys):
+        assert main(["fsck", "--inject", "checksum", "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined: lost+found/" in out
+        assert "re-check after repair: clean" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        path = tmp_path / "fsck.json"
+        assert main(["fsck", "--inject", "orphan", "--repair",
+                     "--json", str(path)]) == 0
+        capsys.readouterr()
+        report = json.loads(path.read_text())
+        assert report["repair"] is True
+        assert report["repaired_all"] is True
+        assert report["findings"][0]["kind"] == "orphan-extent"
+
+
+class TestScrubCommand:
+    def test_clean_store_exits_zero(self, capsys):
+        assert main(["scrub"]) == 0
+        out = capsys.readouterr().out
+        assert "clean: no checksum errors" in out
+
+    def test_detects_damage_and_points_at_fsck(self, capsys):
+        assert main(["scrub", "--inject", "checksum", "--batch", "4"]) == 1
+        out = capsys.readouterr().out
+        assert "checksum-corrupt" in out
+        assert "sls fsck --repair" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        path = tmp_path / "scrub.json"
+        assert main(["scrub", "--json", str(path)]) == 0
+        capsys.readouterr()
+        report = json.loads(path.read_text())
+        assert report["errors"] == 0
+        assert report["extents_verified"] == report["extents_total"] > 0

@@ -78,6 +78,47 @@ class TestSendRecv:
         with pytest.raises(MigrationError):
             receiver.restore("ghost")
 
+    def test_send_refuses_a_damaged_store(self, hosts, app):
+        # The DR gate (RECOVERY.md): shipping a checkpoint off a store
+        # that does not fsck clean would replicate the damage to the
+        # remote, so send refuses until fsck repairs the source —
+        # unless explicitly overridden to salvage.
+        from repro.errors import MigrationError
+
+        src, dst, src_sls, dst_sls, src_ep, receiver = hosts
+        proc, sys, entry, group = app
+        image = src_sls.checkpoint(group)
+        src_sls.barrier(group)
+        store = group.store_backends()[0].store
+        store.allocator.allocate(4096)  # leak: an orphan extent
+        with pytest.raises(MigrationError, match="sls fsck --repair"):
+            sls_send(image, src_ep, "dst", store=store)
+        assert sls_send(image, src_ep, "dst", store=store,
+                        verify_store=False) > 0
+
+    def test_send_caches_clean_verdict_per_generation(self, hosts, app):
+        # A clean fsck verdict is trusted until the next superblock
+        # write: the first send walks the store, repeat sends of the
+        # same generation skip the walk (and its device reads).
+        src, dst, src_sls, dst_sls, src_ep, receiver = hosts
+        proc, sys, entry, group = app
+        image = src_sls.checkpoint(group)
+        src_sls.barrier(group)
+        store = group.store_backends()[0].store
+        assert store._fsck_clean_generation is None
+        sls_send(image, src_ep, "dst", store=store)
+        assert store._fsck_clean_generation == store.volume.generation
+        first_walk = src.clock.now
+        sls_send(image, src_ep, "dst", store=store)
+        resend = src.clock.now - first_walk
+        # the cached resend must not pay for a second store walk; a
+        # full walk reads every extent (tens of microseconds of
+        # simulated device time), the transfer alone is far cheaper
+        store._fsck_clean_generation = None
+        sls_send(image, src_ep, "dst", store=store)
+        rewalk = src.clock.now - first_walk - resend
+        assert resend < rewalk
+
     def test_export_to_file_and_import(self, hosts, app, tmp_path):
         """'pipe a single checkpoint to a file to give to another
         user' — export, write to disk, import on another machine."""

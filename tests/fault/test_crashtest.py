@@ -1,14 +1,16 @@
 """The crash-consistency sweep (repro.fault.crashtest).
 
 The acceptance bar for the fault plane: ≥ 50 distinct crash points
-across the commit, log-append, GC, and SLSFS-snapshot paths, every
-recovery prefix-consistent and leak-free with a restorable latest
-image, deterministically under a fixed seed.
+across the commit, log-append, GC, scrub, and SLSFS-snapshot paths,
+every recovery prefix-consistent and leak-free with a restorable
+latest image and an fsck that comes back clean or exactly repaired,
+deterministically under a fixed seed.
 """
 
 from repro.fault import names
 from repro.fault.crashtest import (
     CHECKPOINTS,
+    EXPECTED_CRASH_POINTS,
     SWEEP_SITES,
     WorkloadState,
     _boot,
@@ -51,8 +53,15 @@ class TestSweep:
         # The sharded parallel flush contributes its own crash sites:
         # a power cut with some shards submitted and the rest buffered.
         assert fired.get(names.FP_STORE_SHARD_FLUSH, 0) >= CHECKPOINTS
+        # The online scrub is swept too: a cut mid-scrub must leave
+        # nothing behind, since scrubbing only reads.
+        assert fired.get(names.FP_SCRUB_STEP, 0) >= 1
         # Every armed point actually fired (indices came from golden).
         assert len(report.crash_points) == len(report.points)
+        # Full fidelity matches the pin CI enforces; a mismatch would
+        # also have been flagged by the sweep itself as width drift.
+        assert len(report.crash_points) == EXPECTED_CRASH_POINTS
+        assert report.width_drift is None
 
     def test_sweep_is_deterministic(self):
         def fingerprint(report):
@@ -86,6 +95,42 @@ class TestSweep:
             ["crashtest", "--stride", "16", "--expect-points", str(count + 1)]
         ) == 1
         assert "crash-point count" in capsys.readouterr().err
+
+    def test_cli_pinned_keyword_resolves_to_constant(self, capsys):
+        # "--expect-points pinned" is what CI passes: the expected
+        # width lives in exactly one place (EXPECTED_CRASH_POINTS), so
+        # adding a crash site can never leave a stale number in the
+        # workflow file.  A strided sweep visits fewer points, so the
+        # pinned count must fail it — proving the keyword resolved.
+        from repro.cli.main import main
+
+        assert main(
+            ["crashtest", "--stride", "16", "--expect-points", "pinned"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert str(EXPECTED_CRASH_POINTS) in err
+
+    def test_fsck_report_export(self, capsys, tmp_path):
+        import json
+
+        from repro.cli.main import main
+
+        points = tmp_path / "points.json"
+        reports = tmp_path / "fsck.json"
+        assert main([
+            "crashtest", "--stride", "16",
+            "--json", str(points), "--fsck-report", str(reports),
+        ]) == 0
+        capsys.readouterr()
+        point_lines = [json.loads(line)
+                       for line in points.read_text().splitlines()]
+        assert all("fsck_findings" in p and "fsck_repaired" in p
+                   for p in point_lines)
+        report_lines = [json.loads(line)
+                        for line in reports.read_text().splitlines()]
+        assert len(report_lines) == len(point_lines)
+        assert all(r["fsck"]["clean"] or r["fsck"]["repaired_all"]
+                   for r in report_lines)
 
 
 class TestCrashPointOracles:
