@@ -27,7 +27,7 @@ def test_function_density(benchmark):
         kernel = Kernel(memory_bytes=32 * GIB)
         sls = SLS(kernel)
         disk = make_disk_backend(kernel, NvmeDevice(kernel.clock))
-        manager = ServerlessManager(sls)
+        manager = ServerlessManager(sls, backend=disk)
         points = []
         deployed = 0
         for target in FUNCTION_COUNTS:
@@ -35,7 +35,6 @@ def test_function_density(benchmark):
                 manager.deploy(
                     f"fn-{deployed}",
                     customize=b"fn-%d" % deployed,
-                    backend=disk if deployed == 0 else None,
                 )
                 deployed += 1
             points.append(manager.density_report())
@@ -79,8 +78,8 @@ def test_warm_instances_share_frames(benchmark):
         disk = make_disk_backend(kernel, NvmeDevice(kernel.clock))
         from repro.core.backends import MemoryBackend
 
-        manager = ServerlessManager(sls)
-        manager.deploy("fn", backend=disk)
+        manager = ServerlessManager(sls, backend=disk)
+        manager.deploy("fn")
         # Re-checkpoint to a memory image for frame-sharing restores.
         frames_before = kernel.phys.allocated_frames
         results = [

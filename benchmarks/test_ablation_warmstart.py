@@ -37,8 +37,8 @@ def test_cold_vs_warm_start(benchmark):
         cold_ns = cold_region.elapsed
 
         # --- deploy once, then warm starts -----------------------------
-        manager = ServerlessManager(sls)
-        deployed = manager.deploy("fn", backend=disk)
+        manager = ServerlessManager(sls, backend=disk)
+        deployed = manager.deploy("fn")
         deployed.group.attach(MemoryBackend("memory"))
         # Re-checkpoint so a memory image exists (deploy flushed to disk
         # and the builder instance exited; rebuild warm in-memory copy).

@@ -23,13 +23,12 @@ def main() -> int:
     kernel = Kernel(hostname="lambda-node", memory_bytes=32 * GIB)
     sls = SLS(kernel)
     disk = make_disk_backend(kernel, NvmeDevice(kernel.clock))
-    manager = ServerlessManager(sls)
+    manager = ServerlessManager(sls, backend=disk)
 
     # --- deploy a small fleet of functions -----------------------------
     print("deploying functions (each = runtime image + tiny delta):")
     for i in range(6):
-        deployed = manager.deploy(f"fn-{i}", customize=b"handler-%d" % i,
-                                  backend=disk if i == 0 else None)
+        deployed = manager.deploy(f"fn-{i}", customize=b"handler-%d" % i)
         print(f"  fn-{i}: delta of {deployed.delta_pages} pages over"
               f" the shared runtime")
 

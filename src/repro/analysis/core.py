@@ -237,6 +237,8 @@ class AnalyzerConfig:
         "repro/core/api.py",
         "repro/core/orchestrator.py",
     )
+    #: whole packages the kwonly rule checks (every module under them)
+    api_prefixes: Tuple[str, ...] = ("repro/apps/",)
     #: module defining the unit helpers (exempt from unit-suffix)
     units_modules: Tuple[str, ...] = ("repro/units.py",)
 

@@ -16,7 +16,9 @@ convenient positional bool at a time; this rule pins it:
    un-greppable, and flag arguments are exactly what drifts first.
 
 Scope: the modules named in ``AnalyzerConfig.api_modules`` (the
-``AuroraApi`` surface and the orchestrator).  Private helpers
+``AuroraApi`` surface and the orchestrator) plus every module under
+``AnalyzerConfig.api_prefixes`` (the ``repro.apps`` surface, whose
+deploy/invoke redesign adopted the same convention).  Private helpers
 (leading underscore), dunders, and nested functions are exempt.
 """
 
@@ -55,7 +57,9 @@ class KwOnlyApiRule(Rule):
     def check(self, tree: ProjectTree) -> List[Finding]:
         findings: List[Finding] = []
         for mod in tree.modules:
-            if mod.relpath not in tree.config.api_modules:
+            if (mod.relpath not in tree.config.api_modules
+                    and not mod.relpath.startswith(
+                        tuple(tree.config.api_prefixes))):
                 continue
             for qual, node in mod.scopes():
                 if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):

@@ -13,8 +13,12 @@ from repro.apps.lsmtree import AuroraLog, ClassicWal, LsmTree, SSTable
 from repro.apps.recordreplay import CheckpointedRecorder, RecordedInput, RrStats
 from repro.apps.serverless import (
     DeployedFunction,
+    DeployOptions,
     InvocationResult,
+    InvokeOptions,
+    ServerlessFleet,
     ServerlessManager,
+    StormReport,
 )
 from repro.apps.speculation import SpecStats, SpeculativeClient
 
@@ -35,8 +39,12 @@ __all__ = [
     "RecordedInput",
     "RrStats",
     "DeployedFunction",
+    "DeployOptions",
     "InvocationResult",
+    "InvokeOptions",
+    "ServerlessFleet",
     "ServerlessManager",
+    "StormReport",
     "SpecStats",
     "SpeculativeClient",
 ]

@@ -16,16 +16,19 @@ speedup at each depth (scaled ×1000 to stay integer).  The
 ``multiqueue_flush`` scenario sweeps the queue *count* at fixed depth:
 the sharded batch flush spreads a checkpoint's records over all
 submission queues, and the nq4-vs-nq1 flush-lag speedup is a gated
-cell.  See BENCHMARKS.md for the baseline-refresh procedure.
+cell.  The ``fleet`` scenario scales serverless tenancy to 1000
+functions on one store (cold-start and flush-lag percentiles under a
+seeded invocation storm) and gates the noisy-neighbor QoS story: the
+scheduler must keep the steady tenant inside the flush-lag SLO the
+unthrottled baseline violates.  See BENCHMARKS.md for the
+baseline-refresh procedure.
 """
 
 from __future__ import annotations
 
-import itertools
 import json
 from typing import Optional
 
-from repro.core import checkpoint
 from repro.core.backends import DiskBackend
 from repro.core.orchestrator import SLS
 from repro.core.restore import load_image_from_store
@@ -34,12 +37,12 @@ from repro.hw.specs import OPTANE_900P, with_queue_model
 from repro.obs import names as obs_names
 from repro.objstore.store import ObjectStore
 from repro.posix.kernel import Kernel
-from repro.posix.objects import KernelObject
 from repro.posix.syscalls import Syscalls
+from repro.sim.hermetic import hermetic_ids
 from repro.units import GIB, PAGE_SIZE
 
 #: bump when scenario shape changes incompatibly (forces a baseline refresh)
-SUITE_VERSION = 3
+SUITE_VERSION = 4
 
 #: distinct-content dirty pages flushed per checkpoint
 PAGES = 512
@@ -197,12 +200,40 @@ def _multiqueue_grid() -> tuple[dict, dict]:
     return cells, derived
 
 
+def _fleet_grid() -> tuple[dict, dict]:
+    """Fleet-scale serverless tenancy at 1x/10x/100x, plus the
+    noisy-neighbor QoS comparison.  Gated leaves: cold-start and
+    flush-lag percentiles per fleet size (``*_ns``), the exact-match
+    ``steady_slo_violated`` booleans (the QoS run must stay inside the
+    SLO the unthrottled baseline blows), and the
+    ``speedup_qos_protection_x1000`` steady-tenant p99 ratio."""
+    from repro.cli.fleet import FLEET_SIZES, fleet_cell, noisy_neighbor_cell
+
+    cells = {
+        f"fleet_n{functions}": fleet_cell(functions)
+        for functions in FLEET_SIZES
+    }
+    baseline = noisy_neighbor_cell(qos=False)
+    protected = noisy_neighbor_cell(qos=True)
+    cells["noisy_baseline"] = baseline
+    cells["noisy_qos"] = protected
+    derived = {
+        "speedup_qos_protection_x1000": (
+            baseline["steady_flush_p99_ns"] * 1000
+            // protected["steady_flush_p99_ns"]
+            if protected["steady_flush_p99_ns"] else 0
+        ),
+    }
+    return cells, derived
+
+
 #: scenario name -> callable returning (cells, derived-leaves)
 SCENARIOS = {
     "checkpoint_flush": _flush_grid,
     "multiqueue_flush": _multiqueue_grid,
     "pipeline": lambda: (_pipeline_cell(), {}),
     "restore": lambda: (_restore_cell(), {}),
+    "fleet": _fleet_grid,
 }
 
 
@@ -217,22 +248,14 @@ def run_suite(only: Optional[str] = None) -> dict:
         raise KeyError(
             f"unknown scenario {only!r} (have: {', '.join(sorted(SCENARIOS))})"
         )
-    # Hermetic ids: checkpoint metadata varint-encodes kernel-object
-    # ids (pagemap deltas) and image ids (manifest record refs), so
+    # Hermetic ids: checkpoint metadata varint-encodes world ids, so
     # payload sizes — and therefore flush timings — would otherwise
-    # depend on how many objects/images this *process* had already
-    # created (an id crossing a 7-bit varint boundary between two runs
-    # shifts every flush lag by a byte's transfer time).  Pin both
-    # counters for the suite and restore them afterwards.
-    saved_koids = KernelObject._koid_counter
-    saved_image_ids = checkpoint._image_ids
-    KernelObject._koid_counter = itertools.count(1)
-    checkpoint._image_ids = itertools.count(1)
-    try:
+    # depend on how many objects this *process* had already created.
+    # The fleet scenario burns thousands of ids per run (every lazy
+    # restore spawns a container, process, and address space), which
+    # is exactly the drift hermetic_ids() pins away.
+    with hermetic_ids():
         return _run_scenarios(only)
-    finally:
-        KernelObject._koid_counter = saved_koids
-        checkpoint._image_ids = saved_image_ids
 
 
 def _run_scenarios(only: Optional[str]) -> dict:

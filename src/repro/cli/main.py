@@ -32,6 +32,11 @@ recovery and the prefix-consistency/leak/restore oracles.
 BENCHMARKS.md): deterministic, byte-stable JSON that CI diffs against
 ``benchmarks/results/baseline.json`` to gate performance regressions.
 
+``sls fleet`` runs the fleet-scale serverless tenancy scenario (see
+DESIGN.md): thousands of functions deployed on one store, a seeded
+invocation storm of lazy-restore warm starts, and the noisy-neighbor
+QoS comparison (unthrottled vs per-tenant scheduler budgets).
+
 ``sls lint`` runs the AST-based invariant checker (see ANALYSIS.md):
 determinism, registry drift, crash ordering, keyword-only API, and
 unit-suffix rules over the source tree, with a checked-in suppression
@@ -295,6 +300,19 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    from repro.cli.fleet import render_fleet, run_fleet
+
+    report = run_fleet(args.functions, invocations=args.invocations)
+    print(render_fleet(report))
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(json.dumps(report, sort_keys=True, indent=2) + "\n")
+        print(f"wrote fleet report to {args.json}")
+    protected = report["noisy_neighbor"]["qos"]
+    return 1 if protected["steady_slo_violated"] else 0
+
+
 def cmd_stats(args) -> int:
     keep = _run_traced(args.file)
     observers = obs.all_observers()
@@ -375,6 +393,16 @@ def main(argv=None) -> int:
     bench.add_argument("--only", metavar="SCENARIO", default=None,
                        help="run a single scenario's cell grid "
                             "(local iteration; full suite is the CI default)")
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet-scale serverless tenancy scenario (storm + QoS demo)",
+    )
+    fleet.add_argument("--functions", type=int, default=100,
+                       help="functions to deploy on one store (default 100)")
+    fleet.add_argument("--invocations", type=int, default=200,
+                       help="storm arrivals to drive (default 200)")
+    fleet.add_argument("--json", metavar="PATH", default=None,
+                       help="write the full fleet report as JSON")
     from repro.cli.recovery import INJECTIONS
 
     fsck = sub.add_parser(
@@ -414,6 +442,8 @@ def main(argv=None) -> int:
         return cmd_crashtest(args)
     if args.mode == "bench":
         return cmd_bench(args)
+    if args.mode == "fleet":
+        return cmd_fleet(args)
     if args.mode == "fsck":
         return cmd_fsck(args)
     if args.mode == "scrub":

@@ -24,6 +24,7 @@ from repro.core.group import DEFAULT_PERIOD_NS, PersistenceGroup
 from repro.core.metrics import CheckpointMetrics
 from repro.core.options import CheckpointOptions
 from repro.core.restore import RestoreEngine
+from repro.core.scheduler import CheckpointScheduler, CheckpointTicket
 from repro.errors import (
     BackendError,
     CheckpointError,
@@ -46,6 +47,11 @@ class SLS:
         kernel.sls = self
         self.groups: dict[int, PersistenceGroup] = {}
         self.restore_engine = RestoreEngine(self)
+        #: per-tenant QoS multiplexer; every asynchronous checkpoint
+        #: (periodic ticks, checkpoint_async) routes through it.  The
+        #: default config is unthrottled, so single-tenant callers see
+        #: the historical synchronous-at-submit behavior.
+        self.scheduler = CheckpointScheduler(self)
         #: auto-checkpoint event handles per group
         self._periodic: dict[int, object] = {}
 
@@ -123,7 +129,11 @@ class SLS:
             if group.gid not in self.groups:
                 return
             if group.processes() and group.backends:
-                self.checkpoint(group)
+                # Through the scheduler, not a direct checkpoint: at
+                # fleet scale many groups tick in the same window and
+                # the per-tenant QoS budgets decide whose serialization
+                # barrier runs when.
+                self.scheduler.submit(group)
             self._periodic[group.gid] = self.kernel.events.schedule_after(
                 group.period_ns, tick
             )
@@ -369,18 +379,44 @@ class SLS:
             self.barrier(group)
         return image
 
+    def checkpoint_async(
+        self,
+        group: PersistenceGroup,
+        *,
+        options: Optional[CheckpointOptions] = None,
+    ) -> CheckpointTicket:
+        """Submit a checkpoint request to the QoS scheduler.
+
+        Never blocks: returns a :class:`~repro.core.scheduler.CheckpointTicket`
+        whose status is ``rejected`` when the group's tenant is at its
+        admission cap, otherwise ``pending`` (dispatch may already have
+        run it inline when budgets allow).  Use :meth:`barrier` to
+        drain the group's outstanding requests to durability.
+        """
+        return self.scheduler.submit(group, options=options)
+
     # -- durability ---------------------------------------------------------------------
 
     def barrier(self, group: PersistenceGroup) -> int:
         """``sls_barrier``: wait until the latest image is durable.
 
         Advances virtual time (running background flush events) until
-        every backend has confirmed.  Returns the durability time.
+        every backend has confirmed — including checkpoints the QoS
+        scheduler has admitted for this group but not yet dispatched
+        or flushed.  Returns the durability time.
         """
+        guard = 0
+        while self.scheduler.outstanding(group) > 0:
+            deadline = self.kernel.events.next_deadline()
+            if deadline is None:
+                break
+            self.kernel.events.run_until(deadline)
+            guard += 1
+            if guard > 1_000_000:
+                raise CheckpointError("barrier did not converge")
         image = group.latest_image
         if image is None:
             return self.kernel.clock.now
-        guard = 0
         with self.kernel.obs.tracer.span(
             obs_names.SPAN_BARRIER, group=group.name, image=image.name
         ):

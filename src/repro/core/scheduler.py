@@ -1,0 +1,345 @@
+"""Per-tenant QoS checkpoint scheduler (``repro.core.scheduler``).
+
+A fleet of serverless tenants shares one orchestrator and one set of
+NVMe submission queues; if every periodic tick called
+``SLS.checkpoint`` directly, a noisy tenant bursting checkpoints would
+queue unbounded device work ahead of everyone else and blow through
+the well-behaved tenants' flush-lag SLOs.  The scheduler multiplexes
+tenants over the device with three mechanisms:
+
+- **Admission control** — each tenant may cap its queued requests
+  (``max_pending``); beyond the cap ``submit`` returns a *rejected*
+  ticket instead of queueing (and counts it), so backpressure is
+  explicit rather than an ever-growing backlog.
+- **Weighted fair queueing** — pending requests are ordered by integer
+  WFQ finish tags (start-time + quantum/weight), so a tenant bursting
+  N requests interleaves 1:N with a weight-1 tenant instead of
+  draining first.  Integer arithmetic keeps the schedule byte-stable
+  for ``sls bench``.
+- **Flush-lag SLOs** — each durable checkpoint's submit-to-durable lag
+  lands in a per-tenant histogram; lags beyond the tenant's
+  ``flush_slo_ns`` increment a violation counter, making QoS breaches
+  first-class observable state rather than something scraped from
+  traces.
+
+Dispatch is event-driven: every completed image's durability callback
+pumps the dispatch loop, so concurrency follows the device's actual
+drain rate.  ``max_inflight_total=None`` disables all throttling (the
+unthrottled baseline the noisy-neighbor bench compares against).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.options import CheckpointOptions
+from repro.errors import BackendError, CheckpointError, SlsError
+from repro.obs import names as obs_names
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.checkpoint import CheckpointImage
+    from repro.core.group import PersistenceGroup
+    from repro.core.orchestrator import SLS
+
+#: WFQ quantum: one request from a weight-w tenant advances its finish
+#: tag by QUANTUM // w, so relative service is proportional to weight
+#: in pure integer arithmetic
+WFQ_QUANTUM = 1000
+
+#: tenant every unassigned group bills to
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class TenantQoS:
+    """One tenant's service contract with the checkpoint scheduler."""
+
+    #: WFQ share relative to other tenants (higher = more service)
+    weight: int = 1
+    #: submit-to-durable lag beyond this counts an SLO violation
+    flush_slo_ns: Optional[int] = None
+    #: concurrent checkpoints this tenant may have in flight
+    max_inflight: Optional[int] = None
+    #: queued (admitted, undispatched) requests before admission
+    #: control starts rejecting
+    max_pending: Optional[int] = None
+
+    def __post_init__(self):
+        if self.weight < 1:
+            raise SlsError(f"tenant weight must be >= 1, got {self.weight}")
+        for attr in ("flush_slo_ns", "max_inflight", "max_pending"):
+            value = getattr(self, attr)
+            if value is not None and value < 1:
+                raise SlsError(f"{attr} must be >= 1 or None, got {value}")
+
+
+class CheckpointTicket:
+    """One submitted checkpoint request and its lifecycle.
+
+    Status walk: ``pending`` → ``inflight`` → ``durable``; admission
+    control short-circuits to ``rejected`` and a checkpoint whose every
+    backend failed lands in ``failed``.
+    """
+
+    __slots__ = (
+        "group", "tenant", "status", "reason", "submitted_at_ns",
+        "started_at_ns", "durable_at_ns", "image", "finish_tag", "seq",
+        "_options",
+    )
+
+    def __init__(self, group: "PersistenceGroup", tenant: str,
+                 submitted_at_ns: int,
+                 options: Optional[CheckpointOptions] = None):
+        self.group = group
+        self.tenant = tenant
+        self.status = "pending"
+        self.reason: Optional[str] = None
+        self.submitted_at_ns = submitted_at_ns
+        self.started_at_ns: Optional[int] = None
+        self.durable_at_ns: Optional[int] = None
+        self.image: Optional["CheckpointImage"] = None
+        self.finish_tag = 0
+        self.seq = 0
+        self._options = options
+
+    @property
+    def flush_lag_ns(self) -> Optional[int]:
+        """Submit-to-durable lag (queueing included), once durable."""
+        if self.durable_at_ns is None:
+            return None
+        return max(0, self.durable_at_ns - self.submitted_at_ns)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CheckpointTicket {self.group.name!r} tenant={self.tenant!r}"
+            f" {self.status}>"
+        )
+
+
+class CheckpointScheduler:
+    """Multiplexes tenants' checkpoint requests over one orchestrator.
+
+    The scheduler owns *when* a checkpoint's serialization barrier
+    runs; the orchestrator's synchronous :meth:`~repro.core.orchestrator.SLS.checkpoint`
+    stays the primitive underneath (crash-ordering invariants live
+    there, unchanged).
+    """
+
+    def __init__(self, sls: "SLS", *,
+                 max_inflight_total: Optional[int] = None):
+        self.sls = sls
+        #: None = unthrottled: every admitted request dispatches
+        #: immediately (the noisy-neighbor baseline mode)
+        self.max_inflight_total = max_inflight_total
+        self._tenants: dict[str, TenantQoS] = {DEFAULT_TENANT: TenantQoS()}
+        self._tenant_of_group: dict[int, str] = {}
+        #: WFQ-ordered admitted requests: (finish_tag, seq, ticket)
+        self._pending: list[tuple[int, int, CheckpointTicket]] = []
+        self._seq = itertools.count()
+        self._vtime = 0
+        self._last_tag: dict[str, int] = {}
+        self._pending_count: dict[str, int] = {}
+        self._inflight: dict[str, int] = {}
+        self._inflight_total = 0
+        self._live_tickets: list[CheckpointTicket] = []
+        self._dispatching = False
+        self.tickets_submitted = 0
+        self.tickets_rejected = 0
+        self.slo_violations = 0
+        #: every durable ticket's flush lag, per tenant — raw samples so
+        #: reports can take exact percentiles (histogram buckets can't)
+        self.completed_lags: dict[str, list[int]] = {}
+
+    # -- tenancy -----------------------------------------------------------
+
+    def register_tenant(self, name: str, *, qos: TenantQoS) -> None:
+        """Declare (or update) a tenant's QoS contract."""
+        self._tenants[name] = qos
+
+    def assign(self, group: "PersistenceGroup", *, tenant: str) -> None:
+        """Bill ``group``'s checkpoints to ``tenant``."""
+        if tenant not in self._tenants:
+            raise SlsError(f"unknown tenant {tenant!r}; register_tenant first")
+        self._tenant_of_group[group.gid] = tenant
+
+    def tenant_of(self, group: "PersistenceGroup") -> str:
+        return self._tenant_of_group.get(group.gid, DEFAULT_TENANT)
+
+    def qos_of(self, tenant: str) -> TenantQoS:
+        return self._tenants.get(tenant, self._tenants[DEFAULT_TENANT])
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, group: "PersistenceGroup", *,
+               options: Optional[CheckpointOptions] = None) -> CheckpointTicket:
+        """Request one checkpoint of ``group``; never blocks.
+
+        Returns the ticket immediately: ``rejected`` when the tenant's
+        pending queue is at its admission cap, otherwise ``pending``
+        (or already ``inflight``/``durable`` if dispatch ran inline).
+        """
+        tenant = self.tenant_of(group)
+        qos = self.qos_of(tenant)
+        ticket = CheckpointTicket(
+            group, tenant, self.sls.kernel.clock.now, options
+        )
+        self.tickets_submitted += 1
+        pending = self._pending_count.get(tenant, 0)
+        if qos.max_pending is not None and pending >= qos.max_pending:
+            ticket.status = "rejected"
+            ticket.reason = (
+                f"tenant {tenant!r} has {pending} pending requests "
+                f"(cap {qos.max_pending})"
+            )
+            self.tickets_rejected += 1
+            self._observe_rejected(tenant)
+            return ticket
+        # Integer WFQ: a tenant's next finish tag starts where its last
+        # one ended (or at the global virtual time if it went idle) and
+        # advances inversely to its weight.
+        start = max(self._vtime, self._last_tag.get(tenant, 0))
+        ticket.finish_tag = start + WFQ_QUANTUM // qos.weight
+        ticket.seq = next(self._seq)
+        self._last_tag[tenant] = ticket.finish_tag
+        self._pending_count[tenant] = pending + 1
+        heapq.heappush(
+            self._pending, (ticket.finish_tag, ticket.seq, ticket)
+        )
+        self._observe_occupancy(tenant)
+        self._dispatch()
+        return ticket
+
+    def outstanding(self, group: Optional["PersistenceGroup"] = None) -> int:
+        """Admitted-but-not-durable requests (optionally one group's)."""
+        if group is None:
+            return sum(self._pending_count.values()) + self._inflight_total
+        gid = group.gid
+        n = sum(
+            1 for _, _, t in self._pending
+            if t.group.gid == gid and t.status == "pending"
+        )
+        return n + self._inflight_by_group.get(gid, 0)
+
+    @property
+    def _inflight_by_group(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for ticket in self._live_tickets:
+            counts[ticket.group.gid] = counts.get(ticket.group.gid, 0) + 1
+        return counts
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        """Start pending requests while concurrency budgets allow.
+
+        Re-entrancy guard: a dispatched checkpoint's durability
+        callback (or a memory backend's immediate durability) pumps
+        ``_dispatch`` again; the guard flattens that into one loop.
+        """
+        if self._dispatching:
+            return
+        self._dispatching = True
+        try:
+            while self._pending:
+                if (self.max_inflight_total is not None
+                        and self._inflight_total >= self.max_inflight_total):
+                    break
+                ticket = self._pop_runnable()
+                if ticket is None:
+                    break
+                self._run(ticket)
+        finally:
+            self._dispatching = False
+
+    def _pop_runnable(self) -> Optional[CheckpointTicket]:
+        """Lowest-finish-tag pending ticket whose tenant has headroom."""
+        blocked: list[tuple[int, int, CheckpointTicket]] = []
+        found: Optional[CheckpointTicket] = None
+        while self._pending:
+            tag, seq, ticket = heapq.heappop(self._pending)
+            qos = self.qos_of(ticket.tenant)
+            if (qos.max_inflight is not None
+                    and self._inflight.get(ticket.tenant, 0) >= qos.max_inflight):
+                blocked.append((tag, seq, ticket))
+                continue
+            found = ticket
+            break
+        for item in blocked:
+            heapq.heappush(self._pending, item)
+        return found
+
+    def _run(self, ticket: CheckpointTicket) -> None:
+        tenant = ticket.tenant
+        self._pending_count[tenant] -= 1
+        self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+        self._inflight_total += 1
+        self._live_tickets.append(ticket)
+        ticket.status = "inflight"
+        ticket.started_at_ns = self.sls.kernel.clock.now
+        self._vtime = max(self._vtime, ticket.finish_tag)
+        self._observe_occupancy(tenant)
+        try:
+            image = self.sls.checkpoint(ticket.group, options=ticket._options)
+        except (CheckpointError, BackendError) as exc:
+            ticket.status = "failed"
+            ticket.reason = str(exc)
+            self._retire(ticket)
+            return
+        ticket.image = image
+        image.on_durable(lambda img, t=ticket: self._complete(t, img))
+
+    def _complete(self, ticket: CheckpointTicket,
+                  image: "CheckpointImage") -> None:
+        if ticket.status != "inflight":
+            return
+        ticket.status = "durable"
+        ticket.durable_at_ns = image.metrics.durable_at_ns
+        lag = ticket.flush_lag_ns or 0
+        qos = self.qos_of(ticket.tenant)
+        self.completed_lags.setdefault(ticket.tenant, []).append(lag)
+        self._observe_lag(ticket.tenant, lag)
+        if qos.flush_slo_ns is not None and lag > qos.flush_slo_ns:
+            self.slo_violations += 1
+            self._observe_violation(ticket.tenant)
+        self._retire(ticket)
+
+    def _retire(self, ticket: CheckpointTicket) -> None:
+        tenant = ticket.tenant
+        self._inflight[tenant] -= 1
+        self._inflight_total -= 1
+        self._live_tickets.remove(ticket)
+        self._observe_occupancy(tenant)
+        self._dispatch()
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def _obs(self):
+        return self.sls.kernel.obs
+
+    def _observe_occupancy(self, tenant: str) -> None:
+        reg = self._obs.registry
+        reg.gauge(obs_names.G_SCHED_OCCUPANCY, tenant=tenant).set(
+            self._pending_count.get(tenant, 0)
+        )
+        reg.gauge(obs_names.G_SCHED_INFLIGHT, tenant=tenant).set(
+            self._inflight.get(tenant, 0)
+        )
+
+    def _observe_rejected(self, tenant: str) -> None:
+        self._obs.registry.counter(
+            obs_names.C_SCHED_ADMIT_REJECTED, tenant=tenant
+        ).inc()
+
+    def _observe_lag(self, tenant: str, lag_ns: int) -> None:
+        self._obs.registry.histogram(
+            obs_names.H_TENANT_FLUSH_LAG, tenant=tenant
+        ).observe(lag_ns)
+
+    def _observe_violation(self, tenant: str) -> None:
+        self._obs.registry.counter(
+            obs_names.C_SCHED_SLO_VIOLATIONS, tenant=tenant
+        ).inc()

@@ -69,6 +69,7 @@ SWEEP_SITES = (
     fault_names.FP_STORE_BATCH_FLUSH,
     fault_names.FP_STORE_SHARD_FLUSH,
     fault_names.FP_STORE_COMMIT,
+    fault_names.FP_STORE_WRITE_DIRECTORY,
     fault_names.FP_LOG_APPEND,
     fault_names.FP_GC_COLLECT,
     fault_names.FP_FS_SYNC,
@@ -87,7 +88,7 @@ SCRUB_BATCH = 16
 #: ``--expect-points pinned`` and ``run_sweep`` itself fails loudly
 #: when a full sweep's width drifts from it — adding or removing a
 #: crash site means updating exactly this constant.
-EXPECTED_CRASH_POINTS = 101
+EXPECTED_CRASH_POINTS = 112
 
 
 @dataclass

@@ -30,6 +30,7 @@ FP_STORE_BATCH_FLUSH = "objstore.batch.flush"
 FP_STORE_SHARD_FLUSH = "objstore.batch.shard_flush"
 FP_STORE_COMMIT = "objstore.commit_snapshot"
 FP_STORE_DELETE = "objstore.delete_snapshot"
+FP_STORE_WRITE_DIRECTORY = "objstore.write_directory"
 FP_STORE_ALLOC = "objstore.alloc"
 FP_LOG_APPEND = "objstore.log.append"
 FP_GC_COLLECT = "objstore.gc.collect"

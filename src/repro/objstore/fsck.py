@@ -58,7 +58,7 @@ from repro.objstore.record import (
     unpack_record,
 )
 from repro.objstore.snapshot import Snapshot, SnapshotDirectory
-from repro.objstore.store import MetaRef, ObjectStore, PageRef
+from repro.objstore.store import DIR_SPILL_KEY, MetaRef, ObjectStore, PageRef
 
 # --- corruption classes -------------------------------------------------------
 
@@ -233,6 +233,8 @@ class Fsck:
         #: across snapshots are read once
         self._verified: dict[tuple[int, int], tuple] = {}
         self._superblock_lost = False
+        #: spilled-directory record named by the media superblock
+        self._dir_spill: Optional[Extent] = None
 
     # -- phase 0: directory ----------------------------------------------------
 
@@ -252,8 +254,24 @@ class Fsck:
         generation, payload = super_read
         self.report.generation = generation
         try:
-            self.directory = SnapshotDirectory.decode(decode(payload))
-        except (ObjectStoreError, ValueError, KeyError, TypeError) as exc:
+            value = decode(payload)
+            if isinstance(value, dict) and DIR_SPILL_KEY in value:
+                offset, length = value[DIR_SPILL_KEY]
+                self._dir_spill = Extent(int(offset), int(length))
+                raw = self.store.volume.read_data(
+                    self._dir_spill.offset, self._dir_spill.length
+                )
+                header, dir_payload = unpack_record(raw)
+                if header.kind != KIND_META:
+                    raise ObjectStoreError(
+                        f"directory spill extent holds a kind-{header.kind} "
+                        f"record"
+                    )
+                self.report.bytes_verified += self._dir_spill.length
+                value = decode(dir_payload)
+            self.directory = SnapshotDirectory.decode(value)
+        except (ChecksumError, ObjectStoreError, ValueError, KeyError,
+                TypeError) as exc:
             self._superblock_lost = True
             self.report.findings.append(FsckFinding(
                 kind=CHECKSUM_CORRUPT,
@@ -440,6 +458,9 @@ class Fsck:
                         snapshot.snap_id, walk)
         for oid, log in self.store._logs.items():
             add(log.region.offset, log.region.length, ("log", oid), -1, None)
+        if self._dir_spill is not None:
+            add(self._dir_spill.offset, self._dir_spill.length,
+                ("dir-spill", self._dir_spill.offset), -1, None)
         return sorted(unique.values(), key=lambda c: (c.offset, c.snap_id))
 
     def _check_double_alloc(self, claims: list[_Claim]) -> None:
@@ -679,6 +700,12 @@ class Fsck:
             allocator.reserve(extent)
         for log in store._logs.values():
             allocator.reserve(log.region)
+        if self._dir_spill is not None:
+            # The media superblock still points at the spilled
+            # directory record; keep it reserved until the repaired
+            # superblock supersedes it (then it becomes garbage).
+            allocator.reserve(self._dir_spill)
+            store._dir_spill = self._dir_spill
 
         dedup = DedupIndex()
         meta_refs: dict[int, tuple[Extent, int]] = {}
@@ -785,11 +812,9 @@ class Fsck:
             self.report.quarantined.append(name)
 
         # The repaired superblock, ordered behind the quarantine
-        # records on every queue exactly like a commit's.
-        store.volume.write_superblock(
-            encode(directory.encode()), sync=False,
-            release_ns=store.device.pending_deadline(),
-        )
+        # records on every queue exactly like a commit's (spilling the
+        # directory to the data area when it outgrows the slot).
+        store._write_directory(sync=False)
         self.report.bytes_reclaimed = max(
             0, before_allocated - store.allocator.allocated_bytes
         )

@@ -25,7 +25,7 @@ from repro.hw.device import BatchWrite, IoTicket, StorageDevice
 from repro.mem.address_space import MemContext
 from repro.obs import names as obs_names
 from repro.objstore.alloc import Extent, ExtentAllocator
-from repro.objstore.block import Volume
+from repro.objstore.block import SUPERBLOCK_SLOT_SIZE, Volume
 from repro.objstore.dedup import DedupIndex
 from repro.objstore.record import (
     HEADER_SIZE,
@@ -52,6 +52,13 @@ READ_COALESCE_GAP = 64 * 1024
 #: a coalesced write run is capped at this many bytes so one extent
 #: never monopolizes the device channel (matches common MDTS limits)
 MAX_BATCH_EXTENT = 256 * 1024
+
+#: superblock stub key pointing at a spilled snapshot directory.  The
+#: directory encodes as a *list*, the stub as a *dict*, so the two
+#: superblock payload formats cannot be confused; stores whose
+#: directory fits the slot stay byte-identical with the pre-spill
+#: format.
+DIR_SPILL_KEY = "dir-spill"
 
 
 @dataclass(frozen=True)
@@ -131,6 +138,9 @@ class ObjectStore:
         self._fsck_clean_generation: Optional[int] = None
         #: persistent logs carved out of this store, keyed by owner oid
         self._logs: dict[int, "PersistentLog"] = {}
+        #: live spilled-directory record, when the snapshot directory
+        #: no longer fits the superblock slot (fleet-scale stores)
+        self._dir_spill: Optional[Extent] = None
 
     def attach_obs(self, obs: "KernelObs") -> None:
         """Adopt a kernel's observability plane (instruments cached —
@@ -349,6 +359,70 @@ class ObjectStore:
 
     # -- snapshots -----------------------------------------------------------------------
 
+    def _write_directory(self, sync: bool = False) -> None:
+        """Persist the snapshot directory behind the superblock barrier.
+
+        Small directories encode straight into the superblock slot
+        (byte-identical with the historical format).  Once the encoded
+        directory outgrows the slot — thousands of deployed serverless
+        functions, one snapshot each — it *spills*: the directory is
+        written as an ordinary metadata record in the data area and the
+        superblock stores only a stub pointing at it.  The stub write
+        is barriered behind the spill record via ``release_ns``, so the
+        crash invariant is unchanged: a superblock generation never
+        names a directory record that is not yet durable.
+
+        The previous spill record (if any) becomes deferred garbage
+        only after the new superblock is submitted — the older
+        generation may still point at it, and reuse is deferred to GC
+        under the usual barrier-before-collect discipline.
+        """
+        if self.faults is not None:
+            action = self.faults.fire(
+                fault_names.FP_STORE_WRITE_DIRECTORY,
+                store=self.device.name, snapshots=len(self.directory.snapshots),
+            )
+            if action is not None:
+                if action.kind == "crash":
+                    raise PowerCut(
+                        action.reason or "power cut before directory write",
+                        at_ns=self._now(),
+                    )
+                if action.kind == "fail":
+                    raise ObjectStoreError(
+                        action.reason or "injected directory-write failure"
+                    )
+        payload = encode(self.directory.encode())
+        if HEADER_SIZE + len(payload) <= SUPERBLOCK_SLOT_SIZE:
+            self.volume.write_superblock(
+                payload, sync=sync, release_ns=self.device.pending_deadline()
+            )
+            spill = None
+        else:
+            spill = self._write_record(KIND_META, 0, 0, payload, sync)
+            stub = encode({DIR_SPILL_KEY: [spill.offset, spill.length]})
+            self.volume.write_superblock(
+                stub, sync=sync, release_ns=self.device.pending_deadline()
+            )
+        if self._dir_spill is not None:
+            self.garbage.append(self._dir_spill)
+        self._dir_spill = spill
+
+    def _resolve_directory(self, payload: bytes) -> list:
+        """Decode a superblock payload into directory entries,
+        following a spill stub to its data-area record if present.
+        Side effect: remembers the live spill extent for recovery's
+        allocator rebuild."""
+        value = decode(payload)
+        self._dir_spill = None
+        if isinstance(value, dict) and DIR_SPILL_KEY in value:
+            offset, length = value[DIR_SPILL_KEY]
+            extent = Extent(int(offset), int(length))
+            _oid, dir_payload = self._read_record(extent, KIND_META)
+            self._dir_spill = extent
+            value = decode(dir_payload)
+        return value
+
     def commit_snapshot(
         self,
         name: str,
@@ -416,10 +490,7 @@ class ObjectStore:
         # submission queue, but a sharded flush spreads records over
         # all queues — release_ns floors the superblock's start time at
         # the deadline of everything still in flight, on every queue.
-        self.volume.write_superblock(
-            encode(self.directory.encode()), sync=sync,
-            release_ns=self.device.pending_deadline(),
-        )
+        self._write_directory(sync=sync)
         self.stats.snapshots_committed += 1
         if self.obs is not None:
             self._c_snaps.inc()
@@ -466,10 +537,7 @@ class ObjectStore:
                 self.garbage.append(freed)
         self._release_meta(snapshot.manifest_extent)
         self.directory.remove(snap_id)
-        self.volume.write_superblock(
-            encode(self.directory.encode()), sync=sync,
-            release_ns=self.device.pending_deadline(),
-        )
+        self._write_directory(sync=sync)
         self.stats.snapshots_deleted += 1
         if self.obs is not None:
             self._c_snaps_del.inc()
@@ -526,13 +594,19 @@ class ObjectStore:
         self.garbage = []
         self._logs = {}
         self._open_batch = None
+        self._dir_spill = None
         super_read = self.volume.read_superblock()
         if super_read is None:
             self.directory = SnapshotDirectory()
             return report
         generation, payload = super_read
         report.generation = generation
-        directory = SnapshotDirectory.decode(decode(payload))
+        directory = SnapshotDirectory.decode(self._resolve_directory(payload))
+        if self._dir_spill is not None:
+            # The spilled directory record is reachable from the
+            # superblock (not from any snapshot) — reserve it so later
+            # allocations can never clobber the live directory.
+            self._reserve_once(self._dir_spill)
         self.directory = SnapshotDirectory()
         self.directory.next_id = directory.next_id
         for snap_id in sorted(directory.snapshots):

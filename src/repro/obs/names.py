@@ -87,6 +87,12 @@ C_SCRUB_EXTENTS = "objstore.scrub.extents_verified_total"
 C_SCRUB_ERRORS = "objstore.scrub.errors_total"
 C_FSCK_FINDINGS = "objstore.fsck.findings_total"
 C_FSCK_REPAIRS = "objstore.fsck.repairs_total"
+#: per-tenant admission-control rejections by the checkpoint scheduler
+C_SCHED_ADMIT_REJECTED = "sched.admission_rejected_total"
+#: per-tenant flush-lag SLO violations detected at durability time
+C_SCHED_SLO_VIOLATIONS = "sched.slo_violations_total"
+#: cold starts (new lazily-restored instances) per deployed function
+C_SERVERLESS_COLD_STARTS = "serverless.cold_starts_total"
 
 # --- gauges ------------------------------------------------------------------
 
@@ -98,6 +104,10 @@ G_DEVICE_QUEUE_UTIL = "device.queue_utilization_permille"
 #: how far the online scrub has walked its worklist, 0..1000 (integer
 #: permille so metric exports stay byte-stable)
 G_SCRUB_PROGRESS = "objstore.scrub.progress_permille"
+#: per-tenant admitted-but-undispatched checkpoint requests
+G_SCHED_OCCUPANCY = "sched.queue_occupancy"
+#: per-tenant checkpoints currently in flight (dispatched, not durable)
+G_SCHED_INFLIGHT = "sched.inflight"
 
 # --- histograms (virtual nanoseconds) ----------------------------------------
 
@@ -105,6 +115,10 @@ H_STOP_TIME = "sls.stop_time_ns"
 H_FLUSH_LAG = "backend.flush_lag_ns"
 H_FLUSH_OVERLAP = "sls.flush_overlap_ns"
 H_RESTORE_TOTAL = "sls.restore_total_ns"
+#: per-tenant submit-to-durable checkpoint lag (queueing included)
+H_TENANT_FLUSH_LAG = "sched.tenant_flush_lag_ns"
+#: invoke-to-ready latency of a cold (lazily restored) instance
+H_COLD_START = "serverless.cold_start_ns"
 
 
 def catalogue() -> dict[str, list[str]]:

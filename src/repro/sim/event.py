@@ -24,12 +24,14 @@ class _ScheduledEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    dispatched: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`EventQueue.schedule`; allows cancellation."""
 
-    def __init__(self, event: _ScheduledEvent):
+    def __init__(self, queue: "EventQueue", event: _ScheduledEvent):
+        self._queue = queue
         self._event = event
 
     @property
@@ -41,7 +43,10 @@ class EventHandle:
         return self._event.cancelled
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        """Cancel the event (idempotent; a no-op once dispatched)."""
+        if not self._event.cancelled and not self._event.dispatched:
+            self._event.cancelled = True
+            self._queue._live -= 1
 
 
 class EventQueue:
@@ -55,9 +60,14 @@ class EventQueue:
         self.clock = clock
         self._heap: list[_ScheduledEvent] = []
         self._seq = itertools.count()
+        #: count of scheduled, not-yet-dispatched, not-cancelled events
+        #: — ``len()`` must stay O(1); the scheduler's dispatch loop
+        #: polls it at fleet rate and cancelled periodics would
+        #: otherwise make it a heap scan
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return self._live
 
     def schedule(self, when: int, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` when the queue is advanced past time ``when``."""
@@ -67,7 +77,8 @@ class EventQueue:
             )
         event = _ScheduledEvent(when=when, seq=next(self._seq), callback=callback)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(self, event)
 
     def schedule_after(self, delay: int, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` after ``delay`` ns of virtual time."""
@@ -92,7 +103,9 @@ class EventQueue:
                 break
             event = heapq.heappop(self._heap)
             if event.cancelled:
-                continue
+                continue  # already uncounted by cancel()
+            event.dispatched = True
+            self._live -= 1
             self.clock.advance_to(event.when)
             event.callback()
             fired += 1

@@ -1,0 +1,12 @@
+"""Apps surface eroding: positional flags and options objects."""
+
+
+class Manager:
+    def deploy(self, name, customize=None, lazy=True):
+        return name, customize, lazy
+
+    def invoke(self, name, invoke_options=None):
+        return name, invoke_options
+
+    def configure(self, **knobs):
+        return knobs

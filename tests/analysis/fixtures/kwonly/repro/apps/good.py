@@ -1,0 +1,11 @@
+"""Apps surface holding the line: keyword-only knobs + legacy shim."""
+
+
+class Manager:
+    def deploy(self, name, *legacy_args, customize=None, lazy=True,
+               options=None):
+        return name, legacy_args, customize, lazy, options
+
+    def invoke_legacy(self, *args, **legacy_kwargs):
+        # deprecation shim: exists to reject unknown keys loudly
+        return self.deploy(*args, **legacy_kwargs)

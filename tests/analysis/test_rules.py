@@ -143,6 +143,22 @@ def test_kwonly_good_fixture_passes():
     assert by_path(report, "repro/core/orchestrator.py") == []
 
 
+def test_kwonly_covers_apps_prefix():
+    # repro/apps/ is in scope via api_prefixes, not api_modules
+    report = run_fixture("kwonly", "kwonly-api")
+    bad = by_path(report, "repro/apps/bad.py")
+    messages = "\n".join(f.message for f in bad)
+    assert "flag parameter lazy=True" in messages
+    assert "'invoke_options' of invoke() must be keyword-only" in messages
+    assert "**knobs" in messages
+    assert len(bad) == 3
+
+
+def test_kwonly_apps_good_fixture_passes():
+    report = run_fixture("kwonly", "kwonly-api")
+    assert by_path(report, "repro/apps/good.py") == []
+
+
 # -- unit-suffix ----------------------------------------------------------------
 
 

@@ -1,0 +1,166 @@
+"""The redesigned keyword-only serverless API and the fleet layer."""
+
+import warnings
+
+import pytest
+
+from repro.apps.serverless import (
+    DeployOptions,
+    InvokeOptions,
+    ServerlessFleet,
+    ServerlessManager,
+)
+from repro.core.backends import make_disk_backend
+from repro.core.orchestrator import SLS
+from repro.core.scheduler import TenantQoS
+from repro.errors import SlsError
+from repro.hw.nvme import NvmeDevice
+from repro.obs import names as obs_names
+from repro.posix.kernel import Kernel
+from repro.sim.rng import RngFactory
+from repro.units import GIB
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(memory_bytes=8 * GIB)
+
+
+@pytest.fixture
+def sls(kernel):
+    return SLS(kernel)
+
+
+@pytest.fixture
+def disk(kernel):
+    return make_disk_backend(kernel, NvmeDevice(kernel.clock))
+
+
+@pytest.fixture
+def manager(sls, disk):
+    return ServerlessManager(sls, backend=disk)
+
+
+class TestConstruction:
+    def test_backend_is_required_keyword(self, sls):
+        with pytest.raises(TypeError):
+            ServerlessManager(sls)
+
+    def test_non_backend_rejected_early(self, sls):
+        # The old API discovered a donor backend at first deploy; now a
+        # misconfigured manager fails at construction.
+        with pytest.raises(SlsError, match="StoreBackend"):
+            ServerlessManager(sls, backend="disk0")
+
+
+class TestOptionsObjects:
+    def test_deploy_options_validation(self):
+        with pytest.raises(SlsError, match="customize"):
+            DeployOptions(customize="not-bytes")
+        with pytest.raises(SlsError, match="tenant"):
+            DeployOptions(tenant=7)
+
+    def test_invoke_options_validation(self):
+        with pytest.raises(SlsError, match="payload"):
+            InvokeOptions(payload="str")
+        with pytest.raises(SlsError, match="lazy"):
+            InvokeOptions(lazy=1)
+
+    def test_options_conflict_with_keywords(self, manager):
+        manager.deploy("fn", customize=b"x")
+        with pytest.raises(SlsError, match="not both"):
+            manager.deploy(
+                "fn2", customize=b"y", options=DeployOptions(customize=b"y")
+            )
+        with pytest.raises(SlsError, match="not both"):
+            manager.invoke(
+                "fn", payload=b"p", options=InvokeOptions(payload=b"p")
+            )
+
+    def test_options_path_equivalent_to_keywords(self, manager):
+        manager.deploy("fn", options=DeployOptions(customize=b"v1"))
+        result = manager.invoke(
+            "fn", options=InvokeOptions(payload=b"req", lazy=False)
+        )
+        assert result.output == b"hello, req"
+
+
+class TestDeprecationShims:
+    def test_positional_deploy_warns_and_works(self, manager):
+        with pytest.warns(DeprecationWarning, match="positional deploy"):
+            deployed = manager.deploy("fn", b"delta")
+        assert deployed.delta_pages > 0
+
+    def test_positional_invoke_warns_and_works(self, manager):
+        manager.deploy("fn", customize=b"delta")
+        with pytest.warns(DeprecationWarning, match="positional invoke"):
+            result = manager.invoke("fn", b"req", True)
+        assert result.output == b"hello, req"
+
+    def test_keyword_calls_do_not_warn(self, manager):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            manager.deploy("fn", customize=b"delta")
+            manager.invoke("fn", payload=b"req", lazy=True)
+
+    def test_too_many_positionals_rejected(self, manager):
+        with pytest.raises(TypeError, match="at most"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                manager.deploy("fn", b"a", None, "extra")
+
+
+class TestTenancyAndObservability:
+    def test_deploy_bills_tenant(self, kernel, sls, manager):
+        sls.scheduler.register_tenant("team-a", qos=TenantQoS())
+        deployed = manager.deploy("fn", tenant="team-a")
+        assert sls.scheduler.tenant_of(deployed.group) == "team-a"
+        assert len(sls.scheduler.completed_lags["team-a"]) == 1
+
+    def test_unknown_tenant_fails_deploy(self, manager):
+        with pytest.raises(SlsError, match="unknown tenant"):
+            manager.deploy("fn", tenant="ghost")
+
+    def test_cold_start_observed(self, kernel, manager):
+        manager.deploy("fn", customize=b"v")
+        result = manager.invoke("fn", payload=b"req")
+        assert result.cold_start_ns > 0
+        reg = kernel.obs.registry
+        hist = reg.histogram(obs_names.H_COLD_START, tenant="default")
+        counter = reg.counter(
+            obs_names.C_SERVERLESS_COLD_STARTS, tenant="default"
+        )
+        assert hist.count == 1
+        assert counter.value == 1
+
+
+class TestFleet:
+    def test_deploy_many_and_storm(self, sls, manager):
+        fleet = ServerlessFleet(
+            manager, rng=RngFactory(root_seed=7), tenant="fleet"
+        )
+        fleet.deploy_many(8)
+        report = fleet.storm(invocations=30, mean_gap_ns=100_000)
+        assert report.invocations == 30
+        assert 1 <= report.functions_hit <= 8
+        assert 0 < report.cold_start_p50_ns <= report.cold_start_p99_ns
+        assert len(sls.scheduler.completed_lags["fleet"]) == 8
+
+    def test_storm_is_deterministic(self):
+        def run():
+            kernel = Kernel(memory_bytes=8 * GIB)
+            sls = SLS(kernel)
+            disk = make_disk_backend(kernel, NvmeDevice(kernel.clock))
+            manager = ServerlessManager(sls, backend=disk)
+            fleet = ServerlessFleet(
+                manager, rng=RngFactory(root_seed=7), tenant="fleet"
+            )
+            fleet.deploy_many(6)
+            return fleet.storm(invocations=25, mean_gap_ns=100_000)
+
+        assert run() == run()
+
+    def test_storm_requires_deployment(self, manager):
+        fleet = ServerlessFleet(manager, rng=RngFactory())
+        with pytest.raises(SlsError, match="at least one"):
+            fleet.storm(invocations=5, mean_gap_ns=1000)

@@ -34,24 +34,24 @@ def disk(kernel):
 
 class TestServerless:
     def test_deploy_and_invoke(self, kernel, sls, disk):
-        manager = ServerlessManager(sls)
-        deployed = manager.deploy("fn-alpha", customize=b"alpha", backend=disk)
+        manager = ServerlessManager(sls, backend=disk)
+        deployed = manager.deploy("fn-alpha", customize=b"alpha")
         assert deployed.delta_pages > 0
         result = manager.invoke("fn-alpha", payload=b"request")
         assert result.output == b"hello, request"
         assert result.restore.total_ns < 1_000_000  # sub-millisecond
 
     def test_invocations_are_isolated_instances(self, kernel, sls, disk):
-        manager = ServerlessManager(sls)
-        manager.deploy("fn", backend=disk)
+        manager = ServerlessManager(sls, backend=disk)
+        manager.deploy("fn")
         a = manager.invoke("fn", payload=b"one", keep_instance=True)
         b = manager.invoke("fn", payload=b"two", keep_instance=True)
         assert manager.functions["fn"].invocations == 2
 
     def test_dedup_density_grows_sublinearly(self, kernel, sls, disk):
         """Each function is a small delta over the shared runtime."""
-        manager = ServerlessManager(sls)
-        first = manager.deploy("fn-0", customize=b"0", backend=disk)
+        manager = ServerlessManager(sls, backend=disk)
+        first = manager.deploy("fn-0", customize=b"0")
         store = disk.store
         bytes_after_first = store.physical_bytes()
         for i in range(1, 4):
@@ -64,8 +64,8 @@ class TestServerless:
         assert report["dedup_ratio"] > 1.5
 
     def test_lazy_invoke_faults_less_upfront(self, kernel, sls, disk):
-        manager = ServerlessManager(sls)
-        manager.deploy("fn", backend=disk)
+        manager = ServerlessManager(sls, backend=disk)
+        manager.deploy("fn")
         lazy = manager.invoke("fn", lazy=True)
         eager = manager.invoke("fn", lazy=False)
         assert lazy.restore.pages_installed < eager.restore.pages_installed
@@ -73,8 +73,8 @@ class TestServerless:
     def test_duplicate_deploy_rejected(self, kernel, sls, disk):
         from repro.errors import SlsError
 
-        manager = ServerlessManager(sls)
-        manager.deploy("fn", backend=disk)
+        manager = ServerlessManager(sls, backend=disk)
+        manager.deploy("fn")
         with pytest.raises(SlsError):
             manager.deploy("fn")
 

@@ -1,0 +1,41 @@
+"""The ``sls fleet`` scenario: storm report + noisy-neighbor gate."""
+
+import json
+
+from repro.cli.fleet import noisy_neighbor_cell, run_fleet
+from repro.cli.main import main
+
+
+class TestFleetCommand:
+    def test_small_fleet_report(self, capsys):
+        assert main(["fleet", "--functions", "12",
+                     "--invocations", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "12 functions" in out
+        assert "cold start" in out
+        assert "with QoS" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        assert main(["fleet", "--functions", "8", "--invocations", "16",
+                     "--json", str(path)]) == 0
+        report = json.loads(path.read_text())
+        cell = report["fleet"]
+        assert cell["functions"] == 8
+        assert cell["cold_start_p99_ns"] >= cell["cold_start_p50_ns"] > 0
+        assert report["noisy_neighbor"]["qos"]["steady_slo_violated"] is False
+
+    def test_report_is_deterministic(self):
+        assert run_fleet(10, invocations=20) == run_fleet(10, invocations=20)
+
+
+class TestNoisyNeighbor:
+    def test_qos_protects_where_baseline_violates(self):
+        baseline = noisy_neighbor_cell(qos=False)
+        qos = noisy_neighbor_cell(qos=True)
+        # The whole point of the scheduler: same noisy storm, but only
+        # the unthrottled run drags the steady tenant past its SLO.
+        assert baseline["steady_slo_violated"]
+        assert not qos["steady_slo_violated"]
+        assert qos["steady_flush_p99_ns"] < baseline["steady_flush_p99_ns"]
+        assert qos["noisy_rejected"] > 0

@@ -9,6 +9,7 @@ from repro.obs import names as obs_names
 from repro.objstore.store import ObjectStore
 from repro.posix.kernel import Kernel
 from repro.posix.syscalls import Syscalls
+from repro.sim.hermetic import hermetic_ids
 from repro.units import GIB, MIB, PAGE_SIZE
 
 
@@ -90,6 +91,107 @@ class TestPipelining:
             if span.name == obs_names.SPAN_CHECKPOINT
         ]
         assert [s.attrs["pipelined"] for s in spans] == [False, True]
+
+
+# Checkpoint metadata varint-encodes world ids, so two otherwise
+# identical worlds built at different points in one test process would
+# flush payloads differing by a byte — enough to shift durability
+# timestamps.  Same pinning as ``bench.run_suite``.
+pinned_ids = hermetic_ids
+
+
+class TestConcurrentGroups:
+    """Many groups checkpointing concurrently on one machine: each
+    group's superblock release barrier covers only *its own* store's
+    pending writes, and one group's flush shape is unperturbed by a
+    concurrent group flushing to a different store."""
+
+    @staticmethod
+    def _solo_durable_at():
+        with pinned_ids():
+            kernel = Kernel(memory_bytes=8 * GIB)
+            sls = SLS(kernel)
+            _p, _s, _h, group, _b = make_world(kernel, sls)
+            image = sls.checkpoint(group, name="a")
+            sls.barrier(group)
+            # start-relative: absolute timestamps shift with whatever
+            # else the machine did first, the flush shape must not
+            return image.metrics.durable_at_ns - image.metrics.started_at_ns
+
+    def test_overlapping_flushes_stay_independent(self):
+        solo = self._solo_durable_at()
+        with pinned_ids():
+            kernel = Kernel(memory_bytes=8 * GIB)
+            sls = SLS(kernel)
+            self._check_concurrent(kernel, sls, solo)
+
+    @staticmethod
+    def _check_concurrent(kernel, sls, solo):
+        _pa, _sa, _ha, group_a, _ba = make_world(kernel, sls)
+        proc_b = kernel.spawn("app-b")
+        sysc_b = Syscalls(kernel, proc_b)
+        heap_b = sysc_b.mmap(2 * MIB, name="heap")
+        sysc_b.populate(heap_b.start, 2 * MIB, fill_fn=lambda i: b"b%d" % i)
+        group_b = sls.persist(proc_b, name="app-b")
+        device_b = NvmeDevice(kernel.clock, queue_depth=8)
+        backend_b = StoreBackend(
+            "disk1", ObjectStore(device_b, mem=kernel.mem), batched=True
+        )
+        backend_b.bind(kernel)
+        group_b.attach(backend_b)
+        # A checkpoints first; B's flush window overlaps A's.
+        image_a = sls.checkpoint(group_a, name="a")
+        assert not image_a.durable
+        image_b = sls.checkpoint(group_b, name="b")
+        sls.barrier(group_a)
+        sls.barrier(group_b)
+        # A's start-to-durable interval matches a solo run exactly:
+        # B's concurrent flush to its own device shifted nothing.
+        elapsed = (image_a.metrics.durable_at_ns
+                   - image_a.metrics.started_at_ns)
+        assert elapsed == solo
+        assert image_b.durable
+
+    def test_release_barriers_cover_own_store_only(self, kernel, sls):
+        _pa, _sa, _ha, group_a, backend_a = make_world(kernel, sls)
+        proc_b = kernel.spawn("app-b")
+        sysc_b = Syscalls(kernel, proc_b)
+        heap_b = sysc_b.mmap(2 * MIB, name="heap")
+        sysc_b.populate(heap_b.start, 2 * MIB, fill_fn=lambda i: b"b%d" % i)
+        group_b = sls.persist(proc_b, name="app-b")
+        device_b = NvmeDevice(kernel.clock, queue_depth=8)
+        backend_b = StoreBackend(
+            "disk1", ObjectStore(device_b, mem=kernel.mem), batched=True
+        )
+        backend_b.bind(kernel)
+        group_b.attach(backend_b)
+        image_a = sls.checkpoint(group_a, name="a")
+        image_b = sls.checkpoint(group_b, name="b")
+        # Each store's superblock is held back to its *own* device's
+        # pending deadline — and no further: A's barrier returns as
+        # soon as A's store is durable, while B (which started its
+        # flush later) is still in flight.  If A's commit barrier
+        # covered B's device too, this would deadlock-order into
+        # waiting out B's flush as well.
+        sls.barrier(group_a)
+        assert image_a.durable
+        assert not image_b.durable
+        sls.barrier(group_b)
+        assert image_b.durable
+
+    def test_scheduler_runs_groups_concurrently(self, kernel, sls):
+        # Two unthrottled scheduler submissions → both images in
+        # flight at once, each group's barrier waits only for its own.
+        _pa, _sa, _ha, group_a, _ba = make_world(kernel, sls)
+        _pb, _sb, _hb, group_b, _bb = make_world(kernel, sls)
+        ta = sls.scheduler.submit(group_a)
+        tb = sls.scheduler.submit(group_b)
+        assert ta.status == "inflight" or ta.image.durable
+        assert tb.status == "inflight" or tb.image.durable
+        sls.barrier(group_a)
+        assert ta.status == "durable"
+        sls.barrier(group_b)
+        assert tb.status == "durable"
 
 
 class TestFlushInfo:

@@ -81,6 +81,60 @@ class TestCancellation:
         assert queue.next_deadline() == 20
 
 
+class TestLiveCounter:
+    """``__len__`` is a maintained counter, not an O(n) heap scan —
+    these pin the bookkeeping across every path that changes it."""
+
+    def test_double_cancel_decrements_once(self, queue):
+        handle = queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_dispatch_decrements(self, queue):
+        queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        queue.run_until(10)
+        assert len(queue) == 1
+        queue.run_until(20)
+        assert len(queue) == 0
+
+    def test_cancelled_pop_does_not_double_count(self, queue):
+        # Cancelling already decremented; the lazy heap pop during
+        # dispatch must not decrement again.
+        handle = queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        handle.cancel()
+        queue.run_until(30)
+        assert len(queue) == 0
+
+    def test_cancel_after_fire_is_noop(self, queue):
+        handle = queue.schedule(10, lambda: None)
+        queue.run_until(10)
+        handle.cancel()
+        assert len(queue) == 0
+
+    def test_drain_with_mixed_cancellations(self, queue):
+        fired = []
+        keep = queue.schedule(10, lambda: fired.append("keep"))
+        drop = queue.schedule(15, lambda: fired.append("drop"))
+        drop.cancel()
+        queue.schedule(20, lambda: fired.append("tail"))
+        assert len(queue) == 2
+        queue.drain()
+        assert fired == ["keep", "tail"]
+        assert len(queue) == 0
+        del keep
+
+    def test_len_matches_brute_force_scan(self, queue):
+        handles = [queue.schedule(10 * i, lambda: None) for i in range(1, 9)]
+        for handle in handles[::2]:
+            handle.cancel()
+        live = sum(1 for e in queue._heap if not e.cancelled)
+        assert len(queue) == live == 4
+
+
 class TestDrain:
     def test_drain_runs_everything(self, queue):
         fired = []
