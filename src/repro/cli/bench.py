@@ -20,8 +20,12 @@ cell.  The ``fleet`` scenario scales serverless tenancy to 1000
 functions on one store (cold-start and flush-lag percentiles under a
 seeded invocation storm) and gates the noisy-neighbor QoS story: the
 scheduler must keep the steady tenant inside the flush-lag SLO the
-unthrottled baseline violates.  See BENCHMARKS.md for the
-baseline-refresh procedure.
+unthrottled baseline violates.  The ``writeamp`` scenario pins the
+write-path codec: an incremental small-dirty-region workload flushed
+with the codec on vs. forced-RAW at 1/2/4 queues, gating the media
+write-amplification reduction (``speedup_writeamp_nq*_x1000``) and
+the flush-lag crossover.  See BENCHMARKS.md for the baseline-refresh
+procedure.
 """
 
 from __future__ import annotations
@@ -84,6 +88,10 @@ def _checkpoint_flush_cell(queue_depth: int, batched: bool,
     kernel, sls, sysc, group, backend, heap = _boot(
         queue_depth, batched, num_queues=num_queues
     )
+    # This grid pins *flush mechanics* — coalescing, doorbells, shard
+    # spread — on full-page traffic, so the write-path codec is forced
+    # off (its bytes-vs-CPU trade has its own gated scenario: writeamp).
+    backend.store.codec.enabled = False
     image = sls.checkpoint(group, name="bench-full")
     sls.barrier(group)
     info = image.flush_info["disk0"]
@@ -227,6 +235,78 @@ def _fleet_grid() -> tuple[dict, dict]:
     return cells, derived
 
 
+#: incremental rounds the writeamp scenario checkpoints (each round
+#: re-dirties one small region per page, so every page persists as a
+#: sub-page delta — depth stays under MAX_DELTA_CHAIN)
+WRITEAMP_ROUNDS = 3
+
+
+def _writeamp_cell(num_queues: int, codec_on: bool) -> dict:
+    """One full checkpoint, then ``WRITEAMP_ROUNDS`` incrementals that
+    poke a few bytes into every page.  ``codec_on=False`` forces the
+    legacy RAW path (a full page on media per dirty byte) — the
+    write-amplification baseline the codec is gated against."""
+    kernel, sls, sysc, group, backend, heap = _boot(
+        8, batched=True, num_queues=num_queues
+    )
+    store = backend.store
+    store.codec.enabled = codec_on
+    sls.checkpoint(group, name="wa-full")
+    sls.barrier(group)
+    media_before = store.stats.page_media_bytes
+    full_before = store.stats.page_full_bytes
+    incr_lag_ns = 0
+    for round_no in range(WRITEAMP_ROUNDS):
+        for page in range(PAGES):
+            sysc.poke(
+                heap.start + page * PAGE_SIZE + 64,
+                b"wa-%d-%08d" % (round_no, page),
+            )
+        image = sls.checkpoint(group, name=f"wa-incr-{round_no}")
+        sls.barrier(group)
+        incr_lag_ns = int(image.metrics.flush_lag_ns)
+    incr_media = int(store.stats.page_media_bytes - media_before)
+    incr_full = int(store.stats.page_full_bytes - full_before)
+    return {
+        "incr_media_bytes": incr_media,
+        "incr_full_bytes": incr_full,
+        "writeamp_x1000": incr_full * 1000 // incr_media if incr_media else 0,
+        "pages_delta": int(store.stats.pages_delta),
+        "pages_compressed": int(store.stats.pages_compressed),
+        "encoded_bytes_saved": int(store.stats.encoded_bytes_saved),
+        "incr_flush_lag_ns": incr_lag_ns,
+    }
+
+
+def _writeamp_grid() -> tuple[dict, dict]:
+    """codec × forced-RAW over queue counts.  Gated leaves: per-queue-
+    count media write-amplification reduction (RAW incremental media
+    bytes over codec incremental media bytes, ×1000 — the acceptance
+    floor is 2000, i.e. ≥2x) and the incremental flush-lag speedup
+    (the crossover: fewer media bytes must also mean earlier
+    durability, at every queue count)."""
+    cells = {}
+    for num_queues in NUM_QUEUES:
+        for codec_on in (False, True):
+            mode = "codec" if codec_on else "raw"
+            cells[f"{mode}_nq{num_queues}"] = _writeamp_cell(
+                num_queues, codec_on
+            )
+    derived = {}
+    for num_queues in NUM_QUEUES:
+        raw = cells[f"raw_nq{num_queues}"]
+        enc = cells[f"codec_nq{num_queues}"]
+        derived[f"speedup_writeamp_nq{num_queues}_x1000"] = (
+            raw["incr_media_bytes"] * 1000 // enc["incr_media_bytes"]
+            if enc["incr_media_bytes"] else 0
+        )
+        derived[f"speedup_writeamp_lag_nq{num_queues}_x1000"] = (
+            raw["incr_flush_lag_ns"] * 1000 // enc["incr_flush_lag_ns"]
+            if enc["incr_flush_lag_ns"] else 0
+        )
+    return cells, derived
+
+
 #: scenario name -> callable returning (cells, derived-leaves)
 SCENARIOS = {
     "checkpoint_flush": _flush_grid,
@@ -234,6 +314,7 @@ SCENARIOS = {
     "pipeline": lambda: (_pipeline_cell(), {}),
     "restore": lambda: (_restore_cell(), {}),
     "fleet": _fleet_grid,
+    "writeamp": _writeamp_grid,
 }
 
 

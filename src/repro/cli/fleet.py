@@ -145,6 +145,11 @@ def noisy_neighbor_cell(*, qos: bool) -> dict:
         ))
         scheduler.register_tenant("noisy", qos=TenantQoS())
     store = ObjectStore(device, mem=kernel.mem)
+    # The cell pins *scheduler* behaviour — the contrast needs the noisy
+    # burst to saturate the queues with full-page traffic, so model both
+    # tenants' heaps as incompressible (encrypted / pre-compressed
+    # content the write-path codec stores RAW).
+    store.codec.enabled = False
     backend = DiskBackend("disk0", store, batched=True)
     backend.bind(kernel)
 

@@ -327,6 +327,10 @@ def cmd_stats(args) -> int:
         if utilization is not None:
             print("-- device utilization --")
             print(utilization)
+        encoding = obs.render_store_encoding(kobs.registry)
+        if encoding is not None:
+            print("-- store encoding --")
+            print(encoding)
         scrub = obs.render_scrub_progress(kobs.registry)
         if scrub is not None:
             print("-- scrub progress --")

@@ -13,6 +13,10 @@ corruption classes:
 ``double-alloc``commit a snapshot whose record ref aims at another
                 snapshot's page extent (the same bytes claimed twice)
 ``dangling``    commit a snapshot referencing an extent beyond the volume
+``delta-base``  commit a delta-encoded page whose base hash resolves to
+                nothing (the base was lost or never written)
+``delta-deep``  commit a self-referential delta record — reconstruction
+                walks past the writer's re-anchor bound
 =============  ==========================================================
 """
 
@@ -21,11 +25,13 @@ from __future__ import annotations
 from repro.hw.nvme import NvmeDevice
 from repro.obs import KernelObs
 from repro.objstore.alloc import Extent
+from repro.objstore.record import ENC_DELTA, KIND_PAGE, encode
 from repro.objstore.store import MetaRef, ObjectStore, PageRef
 from repro.sim.clock import SimClock
 from repro.units import KIB
 
-INJECTIONS = ("checksum", "refcount", "orphan", "double-alloc", "dangling")
+INJECTIONS = ("checksum", "refcount", "orphan", "double-alloc", "dangling",
+              "delta-base", "delta-deep")
 
 _SNAPSHOTS = 3
 _PAGES_PER_SNAPSHOT = 4
@@ -99,4 +105,46 @@ def inject(device: NvmeDevice, store: ObjectStore, kind: str) -> str:
         store.flush_barrier()
         return ("committed snapshot 'dangle' referencing an extent past the "
                 "end of the volume")
+    if kind == "delta-base":
+        content = b"broken-base-delta" + b"\xee" * (1 * KIB)
+        stored = encode({
+            "base": b"\x11" * 20,  # hashes to no record anywhere
+            "depth": 1, "len": len(content), "ext": [[0, content[:16]]],
+        })
+        extent = store._write_record(
+            KIND_PAGE, 0, 0, stored, sync=True, flags=ENC_DELTA
+        )
+        content_hash = ObjectStore.page_hash(content)
+        store.dedup.insert(content_hash, extent,
+                           length=len(content), media_bytes=extent.length)
+        store.commit_snapshot(
+            "delta-evil", meta={"injected": True}, records=[],
+            pages=[PageRef(content_hash=content_hash, extent=extent,
+                           length=len(content))],
+        )
+        store.flush_barrier()
+        return ("committed snapshot 'delta-evil' holding a delta record "
+                "whose base hash resolves to nothing")
+    if kind == "delta-deep":
+        content = b"self-referential-delta" + b"\xf5" * (1 * KIB)
+        content_hash = ObjectStore.page_hash(content)
+        stored = encode({
+            # the record names *itself* as its base: reconstruction
+            # recurses until the chain-depth bound trips
+            "base": content_hash,
+            "depth": 1, "len": len(content), "ext": [[0, content[:16]]],
+        })
+        extent = store._write_record(
+            KIND_PAGE, 0, 0, stored, sync=True, flags=ENC_DELTA
+        )
+        store.dedup.insert(content_hash, extent,
+                           length=len(content), media_bytes=extent.length)
+        store.commit_snapshot(
+            "delta-loop", meta={"injected": True}, records=[],
+            pages=[PageRef(content_hash=content_hash, extent=extent,
+                           length=len(content))],
+        )
+        store.flush_barrier()
+        return ("committed snapshot 'delta-loop' holding a delta record "
+                "that names itself as its own base")
     raise ValueError(f"unknown injection {kind!r} (choose from {INJECTIONS})")

@@ -66,6 +66,8 @@ from repro.units import GIB, KIB, PAGE_SIZE
 SWEEP_SITES = (
     fault_names.FP_DEVICE_WRITE,
     fault_names.FP_DEVICE_BATCH,
+    fault_names.FP_STORE_WRITE_COMPRESSED,
+    fault_names.FP_STORE_WRITE_DELTA,
     fault_names.FP_STORE_BATCH_FLUSH,
     fault_names.FP_STORE_SHARD_FLUSH,
     fault_names.FP_STORE_COMMIT,
@@ -88,7 +90,7 @@ SCRUB_BATCH = 16
 #: ``--expect-points pinned`` and ``run_sweep`` itself fails loudly
 #: when a full sweep's width drifts from it — adding or removing a
 #: crash site means updating exactly this constant.
-EXPECTED_CRASH_POINTS = 112
+EXPECTED_CRASH_POINTS = 129
 
 
 @dataclass

@@ -26,6 +26,12 @@ FP_DEVICE_FLUSH = "device.flush_barrier"
 # --- object store (repro.objstore) -------------------------------------------
 
 FP_STORE_WRITE_RECORD = "objstore.write_record"
+#: fires before a zlib-compressed page record is written — a torn
+#: write here leaves a payload that no longer inflates
+FP_STORE_WRITE_COMPRESSED = "objstore.write_compressed"
+#: fires before a delta-encoded page record is written — a torn write
+#: here leaves a dirty-extent list that no longer parses
+FP_STORE_WRITE_DELTA = "objstore.write_delta"
 FP_STORE_BATCH_FLUSH = "objstore.batch.flush"
 FP_STORE_SHARD_FLUSH = "objstore.batch.shard_flush"
 FP_STORE_COMMIT = "objstore.commit_snapshot"

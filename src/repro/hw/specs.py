@@ -236,6 +236,20 @@ class CpuCostModel:
     #: some application state").
     implicit_restore_discount: float = 0.85
 
+    # --- write-path codec (repro.objstore.codec) ---
+    #: Compress one 4 KiB page with an LZ4-class fast compressor
+    #: (~4 GB/s single-core, 0.25 ns/byte).  The codec stores a page
+    #: compressed only when the bytes saved buy back more device
+    #: transfer time than this costs (the JASS crossover).
+    page_compress_ns: float = 1_024.0
+    #: Inflate one compressed page at read/restore time.
+    page_decompress_ns: float = 512.0
+    #: Splice a dirty-extent list into a delta record (no compressor
+    #: pass — the extents were tracked for free at write time).
+    delta_encode_ns: float = 200.0
+    #: Apply one delta record onto its resolved base content.
+    delta_apply_ns: float = 300.0
+
     # --- generic ---
     #: Fixed cost of fork(2): duplicate the proc, vm map, fd table.
     proc_fork_ns: float = 120_000.0

@@ -33,7 +33,14 @@ class Page:
             modified; drives incremental checkpointing.
     """
 
-    __slots__ = ("pfn", "payload", "frozen", "refcount", "dirty_epoch", "_hash")
+    __slots__ = (
+        "pfn", "payload", "frozen", "refcount", "dirty_epoch", "_hash",
+        "base_hash", "dirty_extents",
+    )
+
+    #: stop tracking extents past this many distinct dirty runs — the
+    #: page is effectively rewritten and a delta would not pay off
+    MAX_DIRTY_EXTENTS = 16
 
     def __init__(self, pfn: int, payload: bytes = b""):
         if len(payload) > PAGE_SIZE:
@@ -44,6 +51,14 @@ class Page:
         self.refcount = 1
         self.dirty_epoch = 0
         self._hash: Optional[bytes] = None
+        #: content hash of the checkpointed base this frame diverged
+        #: from (set by PhysicalMemory.copy on the COW-resolve path);
+        #: None for frames with no persisted ancestor
+        self.base_hash: Optional[bytes] = None
+        #: coalesced (offset, nbytes) runs written since base_hash was
+        #: set; None once tracking overflowed (too many runs / too much
+        #: of the page dirty) — the codec then falls back to RAW/ZLIB
+        self.dirty_extents: Optional[list[tuple[int, int]]] = None
 
     # -- content ---------------------------------------------------------
 
@@ -75,6 +90,30 @@ class Page:
             payload = payload + bytes(end - len(payload))
         self.payload = payload[:offset] + data + payload[end:]
         self._hash = None
+        self._track_dirty(offset, len(data))
+
+    def _track_dirty(self, offset: int, nbytes: int) -> None:
+        """Fold one write into the dirty-extent list for delta encoding."""
+        if self.base_hash is None or self.dirty_extents is None:
+            return
+        extents = self.dirty_extents
+        end = offset + nbytes
+        merged: list[tuple[int, int]] = []
+        for start, length in extents:
+            if start <= end and offset <= start + length:
+                offset = min(offset, start)
+                end = max(end, start + length)
+            else:
+                merged.append((start, length))
+        merged.append((offset, end - offset))
+        merged.sort()
+        if (len(merged) > self.MAX_DIRTY_EXTENTS
+                or sum(length for _, length in merged) > PAGE_SIZE // 2):
+            # Rewritten wholesale: a delta would carry most of the page
+            # anyway, so stop paying the tracking cost.
+            self.dirty_extents = None
+        else:
+            self.dirty_extents = merged
 
     def content_hash(self) -> bytes:
         """SHA-1 of the logical (padded) content; key for deduplication.

@@ -62,8 +62,17 @@ class PhysicalMemory:
         return Page(pfn=next(self._next_pfn), payload=payload)
 
     def copy(self, page: Page) -> Page:
-        """Allocate a frame holding a copy of ``page``'s content."""
-        return self.allocate(payload=page.snapshot_payload())
+        """Allocate a frame holding a copy of ``page``'s content.
+
+        The replacement frame remembers its ancestor's content hash and
+        starts an empty dirty-extent list: if only a small byte range
+        diverges before the next checkpoint, the object store can
+        persist it as a sub-page delta against the ancestor's record.
+        """
+        fresh = self.allocate(payload=page.snapshot_payload())
+        fresh.base_hash = page.content_hash()
+        fresh.dirty_extents = []
+        return fresh
 
     # -- refcounting -----------------------------------------------------
 

@@ -20,6 +20,13 @@ class DedupEntry:
     refcount: int
     #: times this content was written logically (hits = writes avoided)
     hits: int = 0
+    #: decoded page content length; the stored record payload may be
+    #: shorter (compressed/delta encodings), so extent.length no longer
+    #: implies the logical size
+    length: int = 0
+    #: on-media logical footprint of the record (what the flush path
+    #: charged the device); header + full page for RAW
+    media_bytes: int = 0
 
 
 @dataclass
@@ -52,10 +59,16 @@ class DedupIndex:
             entry.hits += 1
         return entry
 
-    def insert(self, content_hash: bytes, extent: Extent) -> DedupEntry:
+    def get(self, content_hash: bytes) -> DedupEntry | None:
+        """Peek without counting a lookup (codec base-resolution path)."""
+        return self._entries.get(content_hash)
+
+    def insert(self, content_hash: bytes, extent: Extent,
+               length: int = 0, media_bytes: int = 0) -> DedupEntry:
         if content_hash in self._entries:
             raise AssertionError("dedup insert of existing hash")
-        entry = DedupEntry(extent=extent, refcount=0)
+        entry = DedupEntry(extent=extent, refcount=0,
+                           length=length, media_bytes=media_bytes)
         self._entries[content_hash] = entry
         self.stats.unique_pages += 1
         return entry

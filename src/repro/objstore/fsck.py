@@ -48,8 +48,12 @@ from repro.errors import ChecksumError, ObjectStoreError, PowerCut
 from repro.fault import names as fault_names
 from repro.obs import names as obs_names
 from repro.objstore.alloc import Extent, ExtentAllocator
+from repro.objstore.codec import DeltaChainTooDeep, delta_info
 from repro.objstore.dedup import DedupIndex
 from repro.objstore.record import (
+    ENC_DELTA,
+    ENC_RAW,
+    HEADER_SIZE,
     KIND_MANIFEST,
     KIND_META,
     KIND_PAGE,
@@ -59,6 +63,15 @@ from repro.objstore.record import (
 )
 from repro.objstore.snapshot import Snapshot, SnapshotDirectory
 from repro.objstore.store import DIR_SPILL_KEY, MetaRef, ObjectStore, PageRef
+from repro.units import PAGE_SIZE
+
+
+class _BrokenBase(ObjectStoreError):
+    """Internal: a delta's base content could not be resolved."""
+
+    def __init__(self, base_hash: bytes):
+        self.base_hash = base_hash
+        super().__init__(f"unresolvable delta base {base_hash.hex()[:12]}")
 
 # --- corruption classes -------------------------------------------------------
 
@@ -68,6 +81,13 @@ DOUBLE_ALLOC = "double-alloc"
 REFCOUNT_DRIFT = "refcount-drift"
 ORPHAN_EXTENT = "orphan-extent"
 UNTRACKED_EXTENT = "untracked-extent"
+#: a delta-encoded page whose base content hash resolves nowhere — not
+#: in its own manifest (commit expansion lists the whole chain) and not
+#: in any earlier-walked snapshot
+DELTA_BROKEN_BASE = "delta-broken-base"
+#: reconstruction needed more than the codec's MAX_DELTA_CHAIN hops —
+#: the writer's re-anchor bound was violated on media
+DELTA_CHAIN_TOO_DEEP = "delta-chain-too-deep"
 
 FINDING_KINDS = (
     CHECKSUM_CORRUPT,
@@ -76,6 +96,8 @@ FINDING_KINDS = (
     REFCOUNT_DRIFT,
     ORPHAN_EXTENT,
     UNTRACKED_EXTENT,
+    DELTA_BROKEN_BASE,
+    DELTA_CHAIN_TOO_DEEP,
 )
 
 #: quarantined snapshots are renamed under this prefix; the suffix
@@ -232,6 +254,12 @@ class Fsck:
         #: (offset, length) -> verification outcome, so records shared
         #: across snapshots are read once
         self._verified: dict[tuple[int, int], tuple] = {}
+        #: content hash -> decoded, hash-verified page content (delta
+        #: bases resolve here across walks)
+        self._content: dict[bytes, bytes] = {}
+        #: content hash -> (flags, stored payload) for every verified
+        #: page, so repair can rebuild dedup sizes and delta chains
+        self._page_info: dict[bytes, tuple[int, bytes]] = {}
         self._superblock_lost = False
         #: spilled-directory record named by the media superblock
         self._dir_spill: Optional[Extent] = None
@@ -291,8 +319,10 @@ class Fsck:
     def _verify_extent(self, extent: Extent) -> tuple:
         """Read + verify one record extent; memoized by (offset, length).
 
-        Returns ``("meta", kind, oid, payload)`` on success or
-        ``("bad", finding_kind, detail)`` on failure.
+        Returns ``("meta", kind, oid, payload, flags)`` on success or
+        ``("bad", finding_kind, detail)`` on failure.  The record
+        checksum covers the *stored* payload (raw or encoded); whether
+        encoded page content reconstructs is the walk's second pass.
         """
         key = (extent.offset, extent.length)
         cached = self._verified.get(key)
@@ -313,10 +343,47 @@ class Fsck:
                 result = ("bad", DANGLING_REF,
                           f"no parseable record at {extent.offset}: {exc}")
             else:
-                result = ("meta", header.kind, header.oid, payload)
+                result = ("meta", header.kind, header.oid, payload, header.flags)
                 self.report.bytes_verified += extent.length
         self._verified[key] = result
         return result
+
+    def _resolve_content(self, content_hash: bytes,
+                         pending: dict[bytes, tuple[int, bytes]],
+                         depth: int = 0) -> bytes:
+        """Reconstruct and hash-verify page content during a walk.
+
+        Bases resolve against content already verified in this or an
+        earlier walk (``self._content``) or against records pending in
+        the current walk (commit expansion lists a delta's whole chain
+        in the same manifest).  A base that is missing or itself fails
+        verification surfaces as :class:`_BrokenBase` on the *delta*;
+        the base's own finding is reported when its own ref is walked.
+        """
+        cached = self._content.get(content_hash)
+        if cached is not None:
+            return cached
+        info = pending.get(content_hash)
+        if info is None:
+            raise _BrokenBase(content_hash)
+        flags, stored = info
+
+        def resolve_base(base_hash: bytes) -> bytes:
+            try:
+                return self._resolve_content(base_hash, pending, depth + 1)
+            except (DeltaChainTooDeep, _BrokenBase):
+                raise
+            except ObjectStoreError:
+                raise _BrokenBase(base_hash) from None
+
+        content = self.store.codec.decode_page(
+            flags, stored, resolve_base, _depth=depth
+        )
+        if ObjectStore.page_hash(content) != content_hash:
+            raise ChecksumError("page content hash mismatch")
+        self._content[content_hash] = content
+        self._page_info[content_hash] = (flags, stored)
+        return content
 
     def _walk_snapshot(self, snapshot: Snapshot) -> _SnapshotWalk:
         walk = _SnapshotWalk(snapshot=snapshot)
@@ -331,7 +398,7 @@ class Fsck:
                 action="drop-snapshot",
             ))
             return walk
-        _tag, kind, _oid, payload = outcome
+        _tag, kind, _oid, payload, _flags = outcome
         if kind != KIND_MANIFEST:
             walk.damaged = True
             self.report.findings.append(FsckFinding(
@@ -386,6 +453,11 @@ class Fsck:
                 walk.records.append(ref)
                 self.report.records_verified += 1
 
+        # Page pass 1: record-level verification.  Encoded page content
+        # cannot be hash-checked yet — a delta's base may appear later
+        # in the manifest — so parseable records go to ``pending``.
+        pending: dict[bytes, tuple[int, bytes]] = {}
+        candidates: list[PageRef] = []
         for ref in pages:
             outcome = self._verify_extent(ref.extent)
             problem = None
@@ -395,10 +467,40 @@ class Fsck:
                 problem = (DANGLING_REF,
                            f"page ref at {ref.extent.offset} resolves to a "
                            f"kind-{outcome[1]} record, expected page data")
-            elif ObjectStore.page_hash(outcome[3]) != ref.content_hash:
+            if problem is not None:
+                walk.damaged = True
+                walk.bad_pages.append(ref)
+                self.report.findings.append(FsckFinding(
+                    kind=problem[0], snapshot=snapshot.name,
+                    offset=ref.extent.offset, length=ref.extent.length,
+                    detail=problem[1], action="quarantine",
+                ))
+            else:
+                pending.setdefault(ref.content_hash, (outcome[4], outcome[3]))
+                candidates.append(ref)
+        # Page pass 2: reconstruct content (decoding through the delta
+        # chain) and verify it hashes to what the manifest claims.
+        for ref in candidates:
+            problem = None
+            try:
+                self._resolve_content(ref.content_hash, pending)
+            except DeltaChainTooDeep:
+                problem = (DELTA_CHAIN_TOO_DEEP,
+                           f"delta page at {ref.extent.offset} reconstructs "
+                           f"through too many hops")
+            except _BrokenBase as exc:
+                problem = (DELTA_BROKEN_BASE,
+                           f"delta page at {ref.extent.offset} references "
+                           f"base {exc.base_hash.hex()[:12]} which does not "
+                           f"resolve")
+            except ChecksumError:
                 problem = (CHECKSUM_CORRUPT,
                            f"page at {ref.extent.offset} no longer matches "
                            f"its content hash")
+            except ObjectStoreError as exc:
+                problem = (CHECKSUM_CORRUPT,
+                           f"page at {ref.extent.offset} does not decode: "
+                           f"{exc}")
             if problem is not None:
                 walk.damaged = True
                 walk.bad_pages.append(ref)
@@ -708,6 +810,24 @@ class Fsck:
             store._dir_spill = self._dir_spill
 
         dedup = DedupIndex()
+        delta_depth: dict[bytes, int] = {}
+        delta_bases: dict[bytes, bytes] = {}
+
+        def index_page(ref: PageRef) -> None:
+            if ref.content_hash in dedup.entries():
+                return
+            flags, stored = self._page_info.get(
+                ref.content_hash, (ENC_RAW, b"")
+            )
+            media = (HEADER_SIZE + PAGE_SIZE if flags == ENC_RAW
+                     else ref.extent.length)
+            dedup.insert(ref.content_hash, ref.extent,
+                         length=ref.length, media_bytes=media)
+            if flags == ENC_DELTA:
+                base_hash, depth, _length, _ext = delta_info(stored)
+                delta_depth[ref.content_hash] = depth
+                delta_bases[ref.content_hash] = base_hash
+
         meta_refs: dict[int, tuple[Extent, int]] = {}
         directory = SnapshotDirectory()
         directory.next_id = max(self.directory.next_id,
@@ -722,16 +842,16 @@ class Fsck:
                 extent, count = meta_refs.get(ref.extent.offset, (ref.extent, 0))
                 meta_refs[ref.extent.offset] = (extent, count + 1)
             for ref in walk.pages:
-                if ref.content_hash not in dedup.entries():
-                    dedup.insert(ref.content_hash, ref.extent)
+                index_page(ref)
                 dedup.hold(ref.content_hash, nbytes=ref.length)
         for walk in plans:
             for ref in walk.pages:
-                if ref.content_hash not in dedup.entries():
-                    dedup.insert(ref.content_hash, ref.extent)
+                index_page(ref)
 
         store.allocator = allocator
         store.dedup = dedup
+        store._delta_depth = delta_depth
+        store._delta_bases = delta_bases
         store._meta_refs = meta_refs
         store.directory = directory
         store.garbage = []

@@ -29,6 +29,13 @@ KIND_LOG = 4        # sls_ntflush append-only log entry
 KIND_SUPER = 5      # superblock
 KIND_FILEDATA = 6   # SLSFS file extent
 
+# page payload encodings, carried in the header ``flags`` field.  RAW
+# is 0 so every record written before the codec existed decodes as an
+# uncompressed payload — the flags word was always zero historically.
+ENC_RAW = 0         # payload is the page content itself
+ENC_ZLIB = 1        # payload is a zlib stream of the page content
+ENC_DELTA = 2       # payload is a dirty-extent delta against a base page
+
 
 @dataclass(frozen=True)
 class RecordHeader:

@@ -24,10 +24,15 @@ from repro.fault import names as fault_names
 from repro.hw.device import BatchWrite, IoTicket, StorageDevice
 from repro.mem.address_space import MemContext
 from repro.obs import names as obs_names
+from repro.hw.specs import DEFAULT_CPU
 from repro.objstore.alloc import Extent, ExtentAllocator
 from repro.objstore.block import SUPERBLOCK_SLOT_SIZE, Volume
+from repro.objstore.codec import PageCodec, delta_info
 from repro.objstore.dedup import DedupIndex
 from repro.objstore.record import (
+    ENC_DELTA,
+    ENC_RAW,
+    ENC_ZLIB,
     HEADER_SIZE,
     KIND_MANIFEST,
     KIND_META,
@@ -90,6 +95,15 @@ class StoreStats:
     batches_flushed: int = 0
     batch_records: int = 0
     batch_extents: int = 0
+    #: write-path codec outcomes (repro.objstore.codec)
+    pages_compressed: int = 0
+    pages_delta: int = 0
+    encoded_bytes_saved: int = 0
+    #: media footprint actually charged for page records vs. what the
+    #: same pages would have cost stored raw — the write-amplification
+    #: numerator/denominator for the compression-ratio gauge
+    page_media_bytes: int = 0
+    page_full_bytes: int = 0
 
 
 @dataclass
@@ -116,12 +130,24 @@ class ObjectStore:
             num_shards=self.num_shards,
         )
         self.dedup = DedupIndex()
+        #: classify/encode policy for page records; arms itself with
+        #: the device's queue model (legacy flat-latency stores keep
+        #: writing byte-identical RAW records)
+        self.codec = PageCodec(
+            device.spec, mem.cpu if mem is not None else DEFAULT_CPU
+        )
+        #: delta-chain bookkeeping: content hash -> chain depth / base
+        #: hash for every live delta-encoded page record
+        self._delta_depth: dict[bytes, int] = {}
+        self._delta_bases: dict[bytes, bytes] = {}
         self.directory = SnapshotDirectory()
         self.stats = StoreStats()
         self.obs: Optional["KernelObs"] = None
         self._c_pages = self._c_dedup = self._c_meta = None
         self._c_bytes = self._c_snaps = self._c_snaps_del = None
         self._c_batches = self._c_batch_records = None
+        self._c_compressed = self._c_delta = self._c_saved = None
+        self._g_ratio = None
         #: write batch registered by ``begin_batch``; ``commit_snapshot``
         #: flushes its leftovers before naming a snapshot so the
         #: superblock stays strictly after its records in queue order
@@ -160,6 +186,16 @@ class ObjectStore:
         self._c_batch_records = reg.counter(
             obs_names.C_STORE_BATCH_RECORDS, store=store
         )
+        self._c_compressed = reg.counter(
+            obs_names.C_STORE_PAGES_COMPRESSED, store=store
+        )
+        self._c_delta = reg.counter(obs_names.C_STORE_PAGES_DELTA, store=store)
+        self._c_saved = reg.counter(
+            obs_names.C_STORE_ENCODED_BYTES_SAVED, store=store
+        )
+        self._g_ratio = reg.gauge(
+            obs_names.G_STORE_COMPRESSION_RATIO, store=store
+        )
 
     def attach_faults(self, registry: "FailpointRegistry") -> None:
         """Adopt a machine's failpoint registry for the store, its
@@ -194,7 +230,8 @@ class ObjectStore:
 
     def _write_record(self, kind: int, oid: int, epoch: int, payload: bytes,
                       sync: bool, logical: Optional[int] = None,
-                      batch: Optional["WriteBatch"] = None) -> Extent:
+                      batch: Optional["WriteBatch"] = None,
+                      flags: int = 0) -> Extent:
         if self.faults is not None:
             action = self.faults.fire(
                 fault_names.FP_STORE_WRITE_RECORD,
@@ -210,7 +247,9 @@ class ObjectStore:
                     raise ObjectStoreError(
                         action.reason or "injected record-write failure"
                     )
-        record = pack_record(kind=kind, oid=oid, epoch=epoch, payload=payload)
+        record = pack_record(
+            kind=kind, oid=oid, epoch=epoch, payload=payload, flags=flags
+        )
         shard = batch.next_shard() if batch is not None else None
         extent = self.allocator.allocate(len(record), shard=shard)
         size = max(len(record), logical or 0)
@@ -261,8 +300,20 @@ class ObjectStore:
 
     def write_page(self, payload: bytes, epoch: int = 0, sync: bool = False,
                    content_hash: Optional[bytes] = None,
-                   batch: Optional["WriteBatch"] = None) -> PageRef:
-        """Store page content, deduplicating by hash."""
+                   batch: Optional["WriteBatch"] = None, *,
+                   delta_base: Optional[bytes] = None,
+                   dirty_extents=None) -> PageRef:
+        """Store page content, deduplicating by hash.
+
+        ``delta_base``/``dirty_extents`` are the COW layer's hints for
+        the codec: the content hash of the checkpointed ancestor this
+        page diverged from and the byte ranges written since.  When the
+        base is still resolvable in the store and the dirty footprint
+        is small, the page persists as a sub-page delta record instead
+        of a full page.  A page whose content still equals its base
+        (zero-length delta) simply dedups against it — nothing is
+        written at all.
+        """
         if content_hash is None:
             self._charge(self.mem.cpu.page_hash_ns if self.mem else 0)
             content_hash = self.page_hash(payload)
@@ -275,16 +326,68 @@ class ObjectStore:
             return PageRef(
                 content_hash=content_hash,
                 extent=entry.extent,
-                length=entry.extent.length - HEADER_SIZE,
+                length=entry.length,
             )
-        extent = self._write_record(
-            KIND_PAGE, 0, epoch, payload, sync,
-            logical=HEADER_SIZE + PAGE_SIZE, batch=batch,
+        base_hash = None
+        base_depth = 0
+        if (self.codec.enabled and delta_base is not None
+                and delta_base != content_hash
+                and self.dedup.get(delta_base) is not None):
+            base_hash = delta_base
+            base_depth = self._delta_depth.get(delta_base, 0)
+        plan = self.codec.plan(
+            payload, base_hash=base_hash, base_depth=base_depth,
+            dirty_extents=dirty_extents,
         )
-        self.dedup.insert(content_hash, extent)
+        if plan.cpu_ns:
+            self._charge(plan.cpu_ns)
+        if plan.flags != ENC_RAW and self.faults is not None:
+            fp = (fault_names.FP_STORE_WRITE_DELTA if plan.flags == ENC_DELTA
+                  else fault_names.FP_STORE_WRITE_COMPRESSED)
+            action = self.faults.fire(
+                fp, store=self.device.name, saved=plan.bytes_saved,
+            )
+            if action is not None:
+                if action.kind == "crash":
+                    raise PowerCut(
+                        action.reason or "power cut before encoded page write",
+                        at_ns=self._now(),
+                    )
+                if action.kind == "fail":
+                    raise ObjectStoreError(
+                        action.reason or "injected encoded-page write failure"
+                    )
+        extent = self._write_record(
+            KIND_PAGE, 0, epoch, plan.stored, sync,
+            logical=plan.media_bytes, batch=batch, flags=plan.flags,
+        )
+        self.dedup.insert(
+            content_hash, extent,
+            length=len(payload), media_bytes=plan.media_bytes,
+        )
         self.stats.pages_written += 1
+        self.stats.page_full_bytes += HEADER_SIZE + PAGE_SIZE
+        self.stats.page_media_bytes += plan.media_bytes
+        if plan.flags == ENC_ZLIB:
+            self.stats.pages_compressed += 1
+            self.stats.encoded_bytes_saved += plan.bytes_saved
+        elif plan.flags == ENC_DELTA:
+            self.stats.pages_delta += 1
+            self.stats.encoded_bytes_saved += plan.bytes_saved
+            self._delta_depth[content_hash] = plan.depth
+            self._delta_bases[content_hash] = plan.base_hash
         if self.obs is not None:
             self._c_pages.inc()
+            if plan.flags == ENC_ZLIB:
+                self._c_compressed.inc()
+                self._c_saved.inc(plan.bytes_saved)
+            elif plan.flags == ENC_DELTA:
+                self._c_delta.inc()
+                self._c_saved.inc(plan.bytes_saved)
+            self._g_ratio.set(
+                self.stats.page_media_bytes * 1000
+                // self.stats.page_full_bytes
+            )
         return PageRef(
             content_hash=content_hash, extent=extent, length=len(payload)
         )
@@ -297,7 +400,41 @@ class ObjectStore:
         header, payload = unpack_record(raw)
         if header.kind != KIND_PAGE:
             raise ObjectStoreError(f"expected page record at {ref.extent.offset}")
-        return payload
+        return self._decode_payload(header.flags, payload)
+
+    def _decode_payload(self, flags: int, stored: bytes,
+                        _depth: int = 0) -> bytes:
+        """Reconstruct page content from a stored record payload,
+        resolving delta bases through the dedup index (chain-depth
+        bounded by the codec)."""
+        if flags == ENC_RAW:
+            return stored
+        if flags == ENC_ZLIB:
+            self._charge(self.codec.cpu.page_decompress_ns)
+        elif flags == ENC_DELTA:
+            self._charge(self.codec.cpu.delta_apply_ns)
+        return self.codec.decode_page(
+            flags, stored,
+            lambda base_hash: self._resolve_base(base_hash, _depth + 1),
+            _depth=_depth,
+        )
+
+    def _resolve_base(self, base_hash: bytes, _depth: int) -> bytes:
+        entry = self.dedup.get(base_hash)
+        if entry is None:
+            raise ObjectStoreError(
+                f"delta base {base_hash.hex()} not in store"
+            )
+        raw = self.volume.read_data(
+            entry.extent.offset, entry.extent.length,
+            logical=HEADER_SIZE + PAGE_SIZE,
+        )
+        header, stored = unpack_record(raw)
+        if header.kind != KIND_PAGE:
+            raise ObjectStoreError(
+                f"delta base {base_hash.hex()} is not a page record"
+            )
+        return self._decode_payload(header.flags, stored, _depth=_depth)
 
     def read_pages_coalesced(self, refs: list[PageRef]) -> dict[bytes, bytes]:
         """Bulk-read page refs with sequential-run coalescing.
@@ -324,7 +461,7 @@ class ObjectStore:
             else:
                 runs.append([ref])
                 run_end = ref.extent.end
-        out: dict[bytes, bytes] = {}
+        stash: dict[bytes, tuple[int, bytes]] = {}
         deadline = self.device.clock.now
         nq = self.device.num_queues
         for i, run_refs in enumerate(runs):
@@ -337,10 +474,40 @@ class ObjectStore:
             deadline = max(deadline, ticket.completes_at)
             for ref in run_refs:
                 rel = ref.extent.offset - run_start
-                _, payload = unpack_record(raw[rel : rel + ref.extent.length])
-                out[ref.content_hash] = payload
+                header, payload = unpack_record(raw[rel : rel + ref.extent.length])
+                stash[ref.content_hash] = (header.flags, payload)
         self.device.clock.advance_to(deadline)
-        return out
+        # Decode pass: delta bases prefer the bytes already fetched in
+        # this bulk read (commit expansion lists every base in the
+        # manifest, so a restore's refs normally cover the whole chain)
+        # and only fall back to a point read for bases shared with an
+        # earlier snapshot.
+        resolved: dict[bytes, bytes] = {}
+        for ref in refs:
+            self._decode_stashed(ref.content_hash, stash, resolved)
+        return {h: resolved[h] for h in {r.content_hash for r in refs}}
+
+    def _decode_stashed(self, content_hash: bytes,
+                        stash: dict[bytes, tuple[int, bytes]],
+                        resolved: dict[bytes, bytes],
+                        _depth: int = 0) -> bytes:
+        if content_hash in resolved:
+            return resolved[content_hash]
+        if content_hash not in stash:
+            content = self._resolve_base(content_hash, _depth)
+        else:
+            flags, stored = stash[content_hash]
+            if flags == ENC_ZLIB:
+                self._charge(self.codec.cpu.page_decompress_ns)
+            elif flags == ENC_DELTA:
+                self._charge(self.codec.cpu.delta_apply_ns)
+            content = self.codec.decode_page(
+                flags, stored,
+                lambda h: self._decode_stashed(h, stash, resolved, _depth + 1),
+                _depth=_depth,
+            )
+        resolved[content_hash] = content
+        return content
 
     # -- batched writes ----------------------------------------------------------------
 
@@ -441,6 +608,11 @@ class ObjectStore:
         """
         if self._open_batch is not None and len(self._open_batch):
             self._open_batch.flush()
+        # A snapshot listing a delta-encoded page must also pin the
+        # chain of bases it reconstructs from: list them in the
+        # manifest (taking dedup holds below) so deleting an older
+        # snapshot can never free a base out from under a live delta.
+        pages = self._with_delta_bases(pages)
         manifest_value = {
             "meta": meta,
             "records": [[r.oid, r.extent.offset, r.extent.length] for r in records],
@@ -496,6 +668,28 @@ class ObjectStore:
             self._c_snaps.inc()
         return snapshot
 
+    def _with_delta_bases(self, pages: list[PageRef]) -> list[PageRef]:
+        """``pages`` plus the transitive delta bases of every listed
+        delta record that are not already listed."""
+        seen = {p.content_hash for p in pages}
+        out = list(pages)
+        queue = [p.content_hash for p in pages]
+        while queue:
+            base = self._delta_bases.get(queue.pop())
+            if base is None or base in seen:
+                continue
+            entry = self.dedup.get(base)
+            if entry is None:
+                raise ObjectStoreError(
+                    f"delta base {base.hex()} missing at commit"
+                )
+            out.append(PageRef(
+                content_hash=base, extent=entry.extent, length=entry.length
+            ))
+            seen.add(base)
+            queue.append(base)
+        return out
+
     def load_manifest(self, snapshot: Snapshot) -> tuple[object, list[MetaRef], list[PageRef]]:
         _oid, payload = self._read_record(snapshot.manifest_extent, KIND_MANIFEST)
         value = decode(payload)
@@ -535,6 +729,8 @@ class ObjectStore:
             freed = self.dedup.release(ref.content_hash)
             if freed is not None:
                 self.garbage.append(freed)
+                self._delta_depth.pop(ref.content_hash, None)
+                self._delta_bases.pop(ref.content_hash, None)
         self._release_meta(snapshot.manifest_extent)
         self.directory.remove(snap_id)
         self._write_directory(sync=sync)
@@ -573,7 +769,10 @@ class ObjectStore:
         ``logical_nbytes`` in the device model).
         """
         meta = sum(extent.length for extent, _ in self._meta_refs.values())
-        pages = len(self.dedup.entries()) * (HEADER_SIZE + PAGE_SIZE)
+        pages = sum(
+            entry.media_bytes or (HEADER_SIZE + PAGE_SIZE)
+            for entry in self.dedup.entries().values()
+        )
         return meta + pages
 
     def recover(self) -> RecoveryReport:
@@ -590,6 +789,8 @@ class ObjectStore:
         )
         self.allocator.faults = self.faults
         self.dedup = DedupIndex()
+        self._delta_depth = {}
+        self._delta_bases = {}
         self._meta_refs = {}
         self.garbage = []
         self._logs = {}
@@ -626,12 +827,44 @@ class ObjectStore:
         # Verify every record before taking any references.
         for ref in records:
             self._read_record(ref.extent, KIND_META)
+        # Pass 1: read + checksum-verify every page record new to this
+        # walk (the record checksum covers the *stored* payload, raw or
+        # encoded — a torn encoded record fails here like any other).
+        pending: dict[bytes, tuple[int, bytes]] = {}
         for ref in pages:
-            payload = None
-            if ref.content_hash not in self.dedup.entries():
-                _oid, payload = self._read_record(ref.extent, KIND_PAGE)
-                if self.page_hash(payload) != ref.content_hash:
-                    raise ChecksumError("page content hash mismatch")
+            if (ref.content_hash in self.dedup.entries()
+                    or ref.content_hash in pending):
+                continue
+            raw = self.volume.read_data(ref.extent.offset, ref.extent.length)
+            header, stored = unpack_record(raw)
+            if header.kind != KIND_PAGE:
+                raise ObjectStoreError(
+                    f"record kind {header.kind} at {ref.extent.offset},"
+                    f" expected {KIND_PAGE}"
+                )
+            pending[ref.content_hash] = (header.flags, stored)
+        # Pass 2: reconstruct encoded content and verify it hashes to
+        # the manifest's content hash.  A delta's base is either in
+        # this manifest (commit expansion lists the whole chain) or
+        # already recovered from an earlier snapshot.
+        resolved: dict[bytes, bytes] = {}
+
+        def resolve(content_hash: bytes, depth: int = 0) -> bytes:
+            if content_hash in resolved:
+                return resolved[content_hash]
+            if content_hash not in pending:
+                return self._resolve_base(content_hash, depth)
+            flags, stored = pending[content_hash]
+            content = self.codec.decode_page(
+                flags, stored, lambda h: resolve(h, depth + 1), _depth=depth
+            )
+            if self.page_hash(content) != content_hash:
+                raise ChecksumError("page content hash mismatch")
+            resolved[content_hash] = content
+            return content
+
+        for content_hash in pending:
+            resolve(content_hash)
         # References + allocator reservations.
         self._reserve_once(snapshot.manifest_extent)
         self._meta_refs[snapshot.manifest_extent.offset] = (snapshot.manifest_extent, 1)
@@ -643,7 +876,17 @@ class ObjectStore:
         for ref in pages:
             if ref.content_hash not in self.dedup.entries():
                 self._reserve_once(ref.extent)
-                self.dedup.insert(ref.content_hash, ref.extent)
+                flags, stored = pending[ref.content_hash]
+                media = (HEADER_SIZE + PAGE_SIZE if flags == ENC_RAW
+                         else ref.extent.length)
+                self.dedup.insert(
+                    ref.content_hash, ref.extent,
+                    length=ref.length, media_bytes=media,
+                )
+                if flags == ENC_DELTA:
+                    base_hash, depth, _length, _ext = delta_info(stored)
+                    self._delta_depth[ref.content_hash] = depth
+                    self._delta_bases[ref.content_hash] = base_hash
             self.dedup.hold(ref.content_hash, nbytes=ref.length)
 
     def _reserve_once(self, extent: Extent) -> None:
@@ -717,11 +960,14 @@ class WriteBatch:
     # -- adding records ---------------------------------------------------------
 
     def add_page(self, payload: bytes,
-                 content_hash: Optional[bytes] = None) -> PageRef:
+                 content_hash: Optional[bytes] = None, *,
+                 delta_base: Optional[bytes] = None,
+                 dirty_extents=None) -> PageRef:
         """Buffer one page record (deduplicated exactly like
         :meth:`ObjectStore.write_page`)."""
         return self.store.write_page(
-            payload, epoch=self.epoch, content_hash=content_hash, batch=self
+            payload, epoch=self.epoch, content_hash=content_hash, batch=self,
+            delta_base=delta_base, dirty_extents=dirty_extents,
         )
 
     def add_meta(self, oid: int, value) -> MetaRef:

@@ -51,6 +51,7 @@ from repro.obs.render import (
     render_scrub_progress,
     render_registry,
     render_span_tree,
+    render_store_encoding,
 )
 from repro.obs.tracer import Span, TraceEvent, Tracer
 
@@ -143,6 +144,7 @@ __all__ = [
     "render_scrub_progress",
     "render_registry",
     "render_span_tree",
+    "render_store_encoding",
     "set_default_enabled",
     "spans_from_records",
     "trace_records",

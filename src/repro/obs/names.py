@@ -78,6 +78,12 @@ C_STORE_SNAPSHOTS = "objstore.snapshots_committed_total"
 C_STORE_SNAPSHOTS_DELETED = "objstore.snapshots_deleted_total"
 C_STORE_BATCHES = "objstore.batches_total"
 C_STORE_BATCH_RECORDS = "objstore.batch_records_total"
+#: page records the write-path codec stored as zlib streams
+C_STORE_PAGES_COMPRESSED = "objstore.pages_compressed_total"
+#: page records the write-path codec stored as sub-page deltas
+C_STORE_PAGES_DELTA = "objstore.pages_delta_total"
+#: media bytes the codec avoided writing vs. storing every page raw
+C_STORE_ENCODED_BYTES_SAVED = "objstore.encoded_bytes_saved_total"
 C_CKPT_PIPELINED = "sls.checkpoints_pipelined_total"
 C_GC_EXTENTS_FREED = "objstore.gc.extents_freed_total"
 C_GC_BYTES_FREED = "objstore.gc.bytes_freed_total"
@@ -108,6 +114,10 @@ G_SCRUB_PROGRESS = "objstore.scrub.progress_permille"
 G_SCHED_OCCUPANCY = "sched.queue_occupancy"
 #: per-tenant checkpoints currently in flight (dispatched, not durable)
 G_SCHED_INFLIGHT = "sched.inflight"
+#: media bytes charged for page records over what the same pages would
+#: cost stored raw, as an integer permille (1000 = no savings; integer
+#: so metric exports stay byte-stable)
+G_STORE_COMPRESSION_RATIO = "objstore.compression_ratio_permille"
 
 # --- histograms (virtual nanoseconds) ----------------------------------------
 

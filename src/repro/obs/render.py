@@ -160,6 +160,47 @@ def render_scrub_progress(registry: Registry) -> Optional[str]:
     return "\n".join(lines)
 
 
+def render_store_encoding(registry: Registry) -> Optional[str]:
+    """Per-store write-path codec table from the encoding instruments.
+
+    One row per store showing how the classify/encode stage split the
+    page records (compressed / delta counts), the media bytes it saved,
+    and the compression ratio (the ``media/raw`` permille gauge
+    rendered as a percentage — 100% means the codec never beat RAW).
+    None when no store has published encoding metrics.
+    """
+    ratio = {
+        inst.labels.get("store", "?"): inst
+        for inst in registry.collect()
+        if isinstance(inst, Gauge)
+        and inst.name == names.G_STORE_COMPRESSION_RATIO
+    }
+    if not ratio:
+        return None
+
+    def count(name: str, store: str) -> int:
+        total = 0
+        for inst in registry.collect():
+            if (isinstance(inst, Counter) and inst.name == name
+                    and inst.labels.get("store", "?") == store):
+                total += inst.value
+        return total
+
+    store_w = max(len("store"), max(len(s) for s in ratio))
+    lines = [
+        f"  {'store':<{store_w}}  media%  compressed  delta  bytes saved"
+    ]
+    for store in sorted(ratio):
+        pct = ratio[store].value / 10.0
+        lines.append(
+            f"  {store:<{store_w}}  {pct:6.1f}"
+            f"  {count(names.C_STORE_PAGES_COMPRESSED, store):>10}"
+            f"  {count(names.C_STORE_PAGES_DELTA, store):>5}"
+            f"  {count(names.C_STORE_ENCODED_BYTES_SAVED, store):>11}"
+        )
+    return "\n".join(lines)
+
+
 def render_registry(registry: Registry) -> str:
     """Counters/gauges as a table, histograms with summary stats."""
     counters = [i for i in registry.collect() if isinstance(i, (Counter, Gauge))]

@@ -152,11 +152,17 @@ def capture_pages_to_store(
         for oid, pages in base_map.items():
             page_map[oid] = dict(pages)
     for frozen in freeze_set.pages:
+        # Delta hints: the COW-resolve path stamped each replacement
+        # frame with its ancestor's content hash and tracked the byte
+        # ranges written since, so a lightly-dirtied page can persist
+        # as a sub-page delta record instead of a full page.
         ref = store.write_page(
             frozen.page.snapshot_payload(),
             epoch=freeze_set.epoch,
             content_hash=frozen.page.content_hash(),
             batch=batch,
+            delta_base=frozen.page.base_hash,
+            dirty_extents=frozen.page.dirty_extents,
         )
         page_map.setdefault(frozen.obj.oid, {})[frozen.pindex] = ref
     all_refs = [ref for pages in page_map.values() for ref in pages.values()]

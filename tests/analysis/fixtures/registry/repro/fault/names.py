@@ -1,3 +1,5 @@
 """Fixture failpoint catalogue."""
 
 FP_DEMO_WRITE = "demo.write"
+#: the write-path codec's delta failpoint (sub-page records)
+FP_DEMO_DELTA = "demo.write_delta"

@@ -9,3 +9,10 @@ def checkpoint(obs):
 
 
 LABEL = "demo.write"
+
+
+def persist(obs, faults):
+    # inline gauge + failpoint names: both drift the day the
+    # catalogue renames them
+    obs.gauge("demo.ratio_permille").set(1000)
+    faults.fire("demo.write_delta")

@@ -7,3 +7,8 @@ from repro.obs import names as obs_names
 def checkpoint(obs, faults):
     with obs.span(obs_names.SPAN_CHECKPOINT):
         faults.fire(fault_names.FP_DEMO_WRITE)
+
+
+def persist(obs, faults):
+    obs.gauge(obs_names.GAUGE_RATIO).set(1000)
+    faults.fire(fault_names.FP_DEMO_DELTA)

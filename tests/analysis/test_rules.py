@@ -56,8 +56,12 @@ def registry_config():
             "SPAN_CHECKPOINT": "sls.checkpoint",
             "COUNTER_UNUSED": "objstore.unused_total",
             "COUNTER_RESERVED": "objstore.reserved_total",
+            "GAUGE_RATIO": "demo.ratio_permille",
         },
-        fault_registry={"FP_DEMO_WRITE": "demo.write"},
+        fault_registry={
+            "FP_DEMO_WRITE": "demo.write",
+            "FP_DEMO_DELTA": "demo.write_delta",
+        },
     )
 
 
@@ -67,6 +71,10 @@ def test_registry_drift_bad_fixture_fails():
     messages = "\n".join(f.message for f in bad)
     assert "inline instrument name 'sls.checkpoint'" in messages
     assert "duplicates a catalogue name" in messages
+    # inline gauge + failpoint literals (the codec instrumentation
+    # shapes): caught at the instrument call, not just as copies
+    assert "inline instrument name 'demo.ratio_permille'" in messages
+    assert "inline instrument name 'demo.write_delta'" in messages
 
 
 def test_registry_drift_reports_unreferenced_constant():

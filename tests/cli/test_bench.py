@@ -66,6 +66,27 @@ class TestAcceptance:
         # parallel flush is >= 1.5x faster at 4 queues than 1 (qd8).
         assert results["derived"]["speedup_nq4_x1000"] >= 1500
 
+    def test_writeamp_reduction(self, results):
+        # The codec tentpole's acceptance floor: incremental
+        # checkpoints under the codec move >= 2x fewer media bytes
+        # than the RAW path, at every queue count.
+        for num_queues in (1, 2, 4):
+            key = f"speedup_writeamp_nq{num_queues}_x1000"
+            assert results["derived"][key] >= 2000
+
+    def test_writeamp_cells_same_work(self, results):
+        cells = results["writeamp"]
+        # Same dirty pages per incremental round in every cell; only
+        # the encoding differs — and the codec cells actually encode.
+        assert (
+            cells["raw_nq1"]["pages_delta"] == cells["raw_nq1"]["pages_compressed"] == 0
+        )
+        for num_queues in (1, 2, 4):
+            raw, codec = cells[f"raw_nq{num_queues}"], cells[f"codec_nq{num_queues}"]
+            assert raw["incr_full_bytes"] == codec["incr_full_bytes"]
+            assert codec["pages_delta"] > 0
+            assert codec["incr_media_bytes"] < raw["incr_media_bytes"]
+
     def test_multiqueue_flush_spreads_shards(self, results):
         cells = results["multiqueue_flush"]
         assert cells["nq1_qd8"]["shards"] == 1

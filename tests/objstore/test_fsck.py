@@ -19,6 +19,8 @@ from repro.objstore.block import DATA_BASE
 from repro.objstore.fsck import (
     CHECKSUM_CORRUPT,
     DANGLING_REF,
+    DELTA_BROKEN_BASE,
+    DELTA_CHAIN_TOO_DEEP,
     DOUBLE_ALLOC,
     LOST_AND_FOUND,
     ORPHAN_EXTENT,
@@ -36,6 +38,8 @@ EXPECTED_CLASSES = {
     # was referenced, a dangling ref from the evil snapshot
     "double-alloc": {DANGLING_REF, DOUBLE_ALLOC},
     "dangling": {DANGLING_REF},
+    "delta-base": {DELTA_BROKEN_BASE},
+    "delta-deep": {DELTA_CHAIN_TOO_DEEP},
 }
 
 
