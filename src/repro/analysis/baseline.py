@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.core import Finding, Report
 
@@ -34,12 +34,22 @@ class Baseline:
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
+        """Load ``path``; a malformed file raises ``ValueError`` (the
+        CLI turns that into a usage error, never a silent empty
+        baseline that would un-waive everything)."""
         if not Path(path).exists():
             return cls()
-        data = json.loads(Path(path).read_text())
-        return cls(entries={
-            entry["fingerprint"]: entry for entry in data.get("entries", [])
-        })
+        try:
+            data = json.loads(Path(path).read_text())
+            entries = {
+                entry["fingerprint"]: entry
+                for entry in data.get("entries", [])
+            }
+        except (ValueError, TypeError, KeyError, AttributeError) as exc:
+            raise ValueError(
+                f"malformed baseline {path}: {exc}"
+            ) from exc
+        return cls(entries=entries)
 
     def save(self, path: Path) -> None:
         payload = {
@@ -69,9 +79,16 @@ class Baseline:
         report.findings = kept
         return sorted(set(self.entries) - produced)
 
-    def absorb(self, findings: List[Finding]) -> Tuple[int, int]:
-        """``--update-baseline``: add new findings (TODO-justified),
-        drop entries nothing produces.  Returns (added, removed)."""
+    def absorb(self, findings: List[Finding],
+               rules_run: Optional[List[str]] = None) -> Tuple[int, List[str]]:
+        """``--update-baseline``: add new findings (TODO-justified) and
+        drop entries nothing produces, in one pass.
+
+        Pruning is scoped to ``rules_run``: a ``--rule``-restricted run
+        must not garbage-collect entries belonging to rules it never
+        executed.  Returns ``(added, pruned fingerprints)`` so the CLI
+        can say exactly which entries went away.
+        """
         produced = {f.fingerprint: f for f in findings}
         added = 0
         for fingerprint, finding in produced.items():
@@ -85,7 +102,13 @@ class Baseline:
                     "justification": TODO_JUSTIFICATION,
                 }
                 added += 1
-        stale = set(self.entries) - set(produced)
-        for fingerprint in stale:
+        prunable = set(self.entries) - set(produced)
+        if rules_run is not None:
+            scope = frozenset(rules_run)
+            prunable = {
+                fingerprint for fingerprint in prunable
+                if self.entries[fingerprint].get("rule") in scope
+            }
+        for fingerprint in prunable:
             del self.entries[fingerprint]
-        return added, len(stale)
+        return added, sorted(prunable)

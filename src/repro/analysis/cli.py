@@ -5,16 +5,28 @@ baseline entries, 2 usage errors.  ``--format json`` emits one
 machine-readable document (CI uploads it as an artifact); ``--json
 PATH`` writes the same document to a file alongside the human output,
 matching the house style of ``sls bench``/``sls crashtest``.
+
+Runs are incremental by default: per-module facts (findings, effect
+summaries) live in ``.sls-lint-cache.json`` next to the baseline,
+keyed by content hash, so a warm run re-extracts only edited modules
+(``--no-cache`` opts out).  ``--graph dot|json`` dumps the
+whole-program effect call graph instead of linting; ``--changed``
+restricts *reported* findings to files differing from the merge base
+with origin/main (the rules still see the whole tree — a whole-program
+rule can blame an unchanged file for a change elsewhere, so this is a
+developer loop, not the CI gate).
 """
 
 from __future__ import annotations
 
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import FrozenSet, List, Optional
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.cache import DEFAULT_CACHE_NAME, SummaryCache
 from repro.analysis.core import ProjectTree, Report, run_rules
 from repro.analysis.rules import ALL_RULES, make_rules
 
@@ -30,13 +42,14 @@ def _find_default_root() -> Path:
 
 
 def lint_tree(root: Path, rule_names: Optional[List[str]] = None,
-              baseline: Optional[Baseline] = None) -> Report:
+              baseline: Optional[Baseline] = None,
+              cache: Optional[SummaryCache] = None) -> Report:
     """Library entry point: lint every ``*.py`` under ``root``.
 
     Used by the CLI, CI, and ``tests/test_no_wallclock.py`` alike, so
     the three can never disagree about what the rules see.
     """
-    tree = ProjectTree.load(Path(root))
+    tree = ProjectTree.load(Path(root), cache=cache)
     report = run_rules(tree, make_rules(rule_names))
     if baseline is not None:
         report.stale_baseline = baseline.apply(report)
@@ -82,7 +95,18 @@ def add_lint_parser(subparsers) -> None:
                       help="ignore any baseline file")
     lint.add_argument("--update-baseline", action="store_true",
                       help="absorb current findings into the baseline "
-                           "(new entries get a TODO justification)")
+                           "(new entries get a TODO justification) and "
+                           "prune stale ones, reporting what was pruned")
+    lint.add_argument("--graph", choices=("dot", "json"), default=None,
+                      help="dump the whole-program effect call graph "
+                           "in this format instead of linting")
+    lint.add_argument("--changed", action="store_true",
+                      help="report findings only for files changed "
+                           "since the merge base with origin/main "
+                           "(rules still analyze the whole tree)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="ignore and do not write the per-module "
+                           f"summary cache ({DEFAULT_CACHE_NAME})")
 
 
 def cmd_lint(args) -> int:
@@ -101,27 +125,70 @@ def cmd_lint(args) -> int:
         print(f"sls lint: {exc}", file=sys.stderr)
         return 2
 
+    changed: Optional[FrozenSet[str]] = None
+    if args.changed:
+        changed = _changed_relpaths(root)
+        if changed is None:
+            print(
+                "sls lint: --changed: cannot resolve the merge base "
+                "with origin/main (not a git checkout?)", file=sys.stderr,
+            )
+            return 2
+
     baseline_path = Path(args.baseline) if args.baseline else (
         _baseline_near(root)
     )
     baseline = None
     if not args.no_baseline:
-        baseline = Baseline.load(baseline_path)
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"sls lint: {exc}", file=sys.stderr)
+            return 2
 
-    tree = ProjectTree.load(root)
+    cache = None
+    if not args.no_cache:
+        cache_path = _baseline_near(root).parent / DEFAULT_CACHE_NAME
+        cache = SummaryCache.load(cache_path)
+
+    tree = ProjectTree.load(root, cache=cache)
+
+    if args.graph:
+        analysis = tree.effects()
+        if args.graph == "dot":
+            print(analysis.to_dot(), end="")
+        else:
+            print(json.dumps(analysis.to_json(), indent=2, sort_keys=True))
+        if cache is not None:
+            cache.save()
+        return 0
+
     report = run_rules(tree, rules)
+    if cache is not None:
+        cache.save()
 
     if args.update_baseline:
         if baseline is None:
             baseline = Baseline()
-        added, removed = baseline.absorb(report.findings)
+        added, pruned = baseline.absorb(report.findings, report.rules_run)
         baseline.save(baseline_path)
-        print(f"baseline {baseline_path}: +{added} -{removed} "
+        print(f"baseline {baseline_path}: +{added} -{len(pruned)} "
               f"({len(baseline.entries)} entries)")
+        for fingerprint in pruned:
+            print(f"  pruned stale entry {fingerprint}")
         return 0
 
     if baseline is not None:
         report.stale_baseline = baseline.apply(report)
+    if changed is not None:
+        # developer loop: report only what the diff touches; config
+        # anchoring findings (path "<config>") always apply, and stale
+        # baseline entries are left to the full (CI) run to enforce
+        report.findings = [
+            f for f in report.findings
+            if f.path in changed or f.path.startswith("<")
+        ]
+        report.stale_baseline = []
     stale = report.stale_baseline
 
     if args.json:
@@ -134,6 +201,51 @@ def cmd_lint(args) -> int:
         _print_human(report, stale)
 
     return 0 if report.clean and not stale else 1
+
+
+def _changed_relpaths(root: Path) -> Optional[FrozenSet[str]]:
+    """Files changed vs the merge base with origin/main (plus
+    untracked files), as paths relative to ``root``; ``None`` when git
+    cannot answer."""
+    root = Path(root).resolve()
+
+    def git(*argv: str) -> Optional[str]:
+        try:
+            done = subprocess.run(
+                ["git", *argv], cwd=root,
+                capture_output=True, text=True, check=True,
+            )
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        return done.stdout
+
+    toplevel = git("rev-parse", "--show-toplevel")
+    if toplevel is None:
+        return None
+    toplevel_path = Path(toplevel.strip())
+    base = None
+    for ref in ("origin/main", "main"):
+        merge_base = git("merge-base", "HEAD", ref)
+        if merge_base is not None:
+            base = merge_base.strip()
+            break
+    if base is None:
+        return None
+    diff = git("diff", "--name-only", base)
+    untracked = git("ls-files", "--others", "--exclude-standard")
+    if diff is None or untracked is None:
+        return None
+
+    out = set()
+    for name in (diff + untracked).splitlines():
+        if not name:
+            continue
+        path = toplevel_path / name
+        try:
+            out.add(path.resolve().relative_to(root).as_posix())
+        except ValueError:
+            continue  # changed, but outside the linted tree
+    return frozenset(out)
 
 
 def _baseline_near(root: Path) -> Path:

@@ -68,6 +68,19 @@ class Finding:
             "fingerprint": self.fingerprint,
         }
 
+    @classmethod
+    def from_json(cls, data: dict) -> "Finding":
+        """Rehydrate a finding from :meth:`to_json` output (the shape
+        per-module facts caches store)."""
+        return cls(
+            rule=data["rule"],
+            path=data["path"],
+            line=data["line"],
+            col=data["col"],
+            message=data["message"],
+            symbol=data.get("symbol", ""),
+        )
+
 
 class ImportMap:
     """Import aliasing of one module, for alias-aware rules.
@@ -129,42 +142,77 @@ class ImportMap:
         return ".".join([base] + list(reversed(parts)))
 
 
-@dataclass
 class SourceModule:
-    """One parsed source file shared by every rule."""
+    """One source file shared by every rule.
 
-    path: Path
-    relpath: str
-    source: str
-    tree: ast.Module
-    lines: List[str] = field(default_factory=list)
-    imports: ImportMap = None  # type: ignore[assignment]
-    #: line numbers occupied by docstrings (skipped by literal scans)
-    docstring_lines: frozenset = frozenset()
+    Parsing is *lazy*: the raw text (and its content hash, the summary
+    cache key) are read eagerly, but the AST, import map, and docstring
+    index are only built on first access.  A warm-cache run whose rules
+    are all served from cached per-module facts therefore never parses
+    an unchanged module at all — that is what keeps ``sls lint``
+    sub-second incrementally.
+    """
+
+    def __init__(self, path: Path, relpath: str, source: str):
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self._tree: Optional[ast.Module] = None
+        self._imports: Optional[ImportMap] = None
+        self._docstring_lines: Optional[frozenset] = None
+        self._content_hash: Optional[str] = None
 
     @classmethod
     def load(cls, path: Path, root: Path) -> "SourceModule":
-        source = path.read_text()
-        tree = ast.parse(source, filename=str(path))
-        doc_lines = set()
-        for node in ast.walk(tree):
-            if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
-                                 ast.AsyncFunctionDef)):
-                body = node.body
-                if body and isinstance(body[0], ast.Expr) and isinstance(
-                    body[0].value, ast.Constant
-                ) and isinstance(body[0].value.value, str):
-                    expr = body[0].value
-                    doc_lines.update(range(expr.lineno, expr.end_lineno + 1))
         return cls(
             path=path,
             relpath=path.relative_to(root).as_posix(),
-            source=source,
-            tree=tree,
-            lines=source.splitlines(),
-            imports=ImportMap(tree),
-            docstring_lines=frozenset(doc_lines),
+            source=path.read_text(),
         )
+
+    @property
+    def content_hash(self) -> str:
+        """Cache key: hash of the exact bytes the parse would see."""
+        if self._content_hash is None:
+            self._content_hash = hashlib.sha256(
+                self.source.encode()
+            ).hexdigest()[:24]
+        return self._content_hash
+
+    @property
+    def parsed(self) -> bool:
+        """Whether any rule has forced this module's AST this run."""
+        return self._tree is not None
+
+    @property
+    def tree(self) -> ast.Module:
+        if self._tree is None:
+            self._tree = ast.parse(self.source, filename=str(self.path))
+        return self._tree
+
+    @property
+    def imports(self) -> ImportMap:
+        if self._imports is None:
+            self._imports = ImportMap(self.tree)
+        return self._imports
+
+    @property
+    def docstring_lines(self) -> frozenset:
+        """Line numbers occupied by docstrings (skipped by literal scans)."""
+        if self._docstring_lines is None:
+            doc_lines = set()
+            for node in ast.walk(self.tree):
+                if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    body = node.body
+                    if body and isinstance(body[0], ast.Expr) and isinstance(
+                        body[0].value, ast.Constant
+                    ) and isinstance(body[0].value.value, str):
+                        expr = body[0].value
+                        doc_lines.update(range(expr.lineno, expr.end_lineno + 1))
+            self._docstring_lines = frozenset(doc_lines)
+        return self._docstring_lines
 
     def scopes(self) -> Iterable[Tuple[str, ast.AST]]:
         """(qualname, def node) for every function/class, outermost first."""
@@ -241,13 +289,48 @@ class AnalyzerConfig:
     api_prefixes: Tuple[str, ...] = ("repro/apps/",)
     #: module defining the unit helpers (exempt from unit-suffix)
     units_modules: Tuple[str, ...] = ("repro/units.py",)
+    #: public commit/checkpoint APIs the durability-order rule traces
+    #: (matched by function qualname, any module)
+    durability_roots: Tuple[str, ...] = (
+        "SLS.checkpoint",
+        "StoreBackend.persist",
+        "ObjectStore.commit_snapshot",
+        "ObjectStore.delete_snapshot",
+        "SlsFS.sync",
+    )
+    #: the crash sweep's entry function ("relpath::qualname"); every
+    #: swept failpoint must have a fire site reachable from it
+    sweep_entry: str = "repro/fault/crashtest.py::run_sweep"
+    #: failpoint values the crash sweep power-cuts (default: the live
+    #: SWEEP_SITES tuple)
+    sweep_sites: Tuple[str, ...] = ()
+    #: exception names broad enough to catch a PowerCut (its MRO)
+    powercut_catchers: Tuple[str, ...] = (
+        "PowerCut", "AuroraError", "Exception", "BaseException",
+    )
+    #: documentation file the obs-coverage rule pins catalogue names
+    #: against (looked up in the tree root, then its parent)
+    obs_doc: str = "OBSERVABILITY.md"
+
+    def fingerprint(self) -> str:
+        """Identity of everything cached facts may depend on — part of
+        every cache key, so a config change invalidates cleanly."""
+        blob = repr((
+            sorted(self.obs_registry.items()),
+            sorted(self.fault_registry.items()),
+            self.registry_modules, self.drift_exempt, self.objstore_prefix,
+            self.adapter_modules, self.api_modules, self.api_prefixes,
+            self.units_modules, self.durability_roots, self.sweep_entry,
+            self.sweep_sites, self.powercut_catchers, self.obs_doc,
+        ))
+        return hashlib.sha1(blob.encode()).hexdigest()[:12]
 
     @classmethod
     def default(cls) -> "AnalyzerConfig":
         """Config for the real tree: registry values come from the live
         catalogue modules (the single source of truth the docs tests
         already pin)."""
-        from repro.fault import names as fault_names
+        from repro.fault import crashtest, names as fault_names
         from repro.obs import names as obs_names
 
         def constants(mod) -> Dict[str, str]:
@@ -260,6 +343,7 @@ class AnalyzerConfig:
         return cls(
             obs_registry=constants(obs_names),
             fault_registry=constants(fault_names),
+            sweep_sites=tuple(crashtest.SWEEP_SITES),
         )
 
 
@@ -275,11 +359,23 @@ class Rule:
 
 @dataclass
 class ProjectTree:
-    """Every parsed module plus the config, handed to each rule."""
+    """Every source module plus the config, handed to each rule.
+
+    Rules ask for per-module derived data through :meth:`facts`, which
+    consults the summary cache (when one is attached): a module whose
+    content hash matches the cached entry is never re-parsed.  The
+    whole-program effect analysis is built once per run via
+    :meth:`effects` and shared by every graph rule.
+    """
 
     root: Path
     modules: List[SourceModule]
     config: AnalyzerConfig
+    #: optional SummaryCache (repro.analysis.cache); None disables
+    cache: object = None
+
+    def __post_init__(self):
+        self._effects = None
 
     def module(self, relpath: str) -> Optional[SourceModule]:
         for mod in self.modules:
@@ -287,9 +383,42 @@ class ProjectTree:
                 return mod
         return None
 
+    def facts(self, kind: str, version: int, extract,
+              modules: Optional[List[SourceModule]] = None) -> Dict[str, object]:
+        """Per-module derived facts, via the summary cache.
+
+        ``extract(mod)`` must return a JSON-serializable value derived
+        only from the module source and ``self.config`` — the cache key
+        is (content hash, kind, extractor version, config fingerprint),
+        so any of those changing re-extracts.  Returns
+        ``{relpath: facts}`` in module order.
+        """
+        key = f"{kind}:v{version}:{self.config.fingerprint()}"
+        out: Dict[str, object] = {}
+        for mod in modules if modules is not None else self.modules:
+            cached = None
+            if self.cache is not None:
+                cached = self.cache.get(mod.relpath, mod.content_hash, key)
+            if cached is None:
+                cached = extract(mod)
+                if self.cache is not None:
+                    self.cache.put(mod.relpath, mod.content_hash, key, cached)
+            out[mod.relpath] = cached
+        return out
+
+    def effects(self):
+        """The whole-program effect analysis, built once per run (see
+        :mod:`repro.analysis.effects`)."""
+        if self._effects is None:
+            from repro.analysis.effects import EffectAnalysis
+
+            self._effects = EffectAnalysis.build(self)
+        return self._effects
+
     @classmethod
     def load(cls, root: Path, paths: Optional[Iterable[Path]] = None,
-             config: Optional[AnalyzerConfig] = None) -> "ProjectTree":
+             config: Optional[AnalyzerConfig] = None,
+             cache: object = None) -> "ProjectTree":
         root = Path(root)
         if paths is None:
             paths = sorted(root.rglob("*.py"))
@@ -298,6 +427,7 @@ class ProjectTree:
             root=root,
             modules=modules,
             config=config or AnalyzerConfig.default(),
+            cache=cache,
         )
 
 
@@ -322,17 +452,20 @@ class Report:
 
 def run_rules(tree: ProjectTree, rules: Iterable[Rule]) -> Report:
     """Run ``rules`` over ``tree``; inline suppressions are applied
-    here so every rule stays suppression-agnostic."""
+    here so every rule stays suppression-agnostic.  All findings are
+    sorted into one deterministic (path, line, col, rule) order before
+    anything downstream — JSON reports, baseline diffs — sees them."""
     report = Report(modules_scanned=len(tree.modules))
     by_path = {mod.relpath: mod for mod in tree.modules}
+    produced: List[Finding] = []
     for rule in rules:
         report.rules_run.append(rule.name)
-        for finding in sorted(
-            rule.check(tree), key=lambda f: (f.path, f.line, f.col)
-        ):
-            mod = by_path.get(finding.path)
-            if mod is not None and rule.name in mod.suppressed_rules(finding.line):
-                report.inline_suppressed.append(finding)
-            else:
-                report.findings.append(finding)
+        produced.extend(rule.check(tree))
+    for finding in sorted(produced, key=lambda f: (f.path, f.line,
+                                                   f.col, f.rule)):
+        mod = by_path.get(finding.path)
+        if mod is not None and finding.rule in mod.suppressed_rules(finding.line):
+            report.inline_suppressed.append(finding)
+        else:
+            report.findings.append(finding)
     return report

@@ -11,7 +11,11 @@ from typing import Dict, List
 
 from repro.analysis.core import Rule
 from repro.analysis.rules.crash_ordering import CrashOrderingRule
+from repro.analysis.rules.durability_order import DurabilityOrderRule
+from repro.analysis.rules.exception_safety import ExceptionSafetyRule
+from repro.analysis.rules.failpoint_reach import FailpointReachRule
 from repro.analysis.rules.kwonly import KwOnlyApiRule
+from repro.analysis.rules.obs_coverage import ObsCoverageRule
 from repro.analysis.rules.registry_drift import RegistryDriftRule
 from repro.analysis.rules.unit_suffix import UnitSuffixRule
 from repro.analysis.rules.wallclock import WallClockRule
@@ -22,6 +26,10 @@ ALL_RULES = (
     CrashOrderingRule,
     KwOnlyApiRule,
     UnitSuffixRule,
+    DurabilityOrderRule,
+    FailpointReachRule,
+    ObsCoverageRule,
+    ExceptionSafetyRule,
 )
 
 

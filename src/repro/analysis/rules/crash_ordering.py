@@ -93,11 +93,15 @@ def _fires_failpoint_constant(node: ast.Call) -> bool:
 
 
 class _FunctionFacts:
-    """Source-ordered effects + raw write sites of one function."""
+    """Source-ordered effects + raw write sites of one function.
 
-    def __init__(self, qualname: str, node: ast.AST, relpath: str):
+    Built from the AST once per module change, then round-tripped
+    through the facts cache as plain JSON (:meth:`to_json` /
+    :meth:`from_json`)."""
+
+    def __init__(self, qualname: str, name: str, relpath: str):
         self.qualname = qualname
-        self.node = node
+        self.name = name
         self.relpath = relpath
         #: [(lineno, col, effect, detail)] in source order
         self.effects: List[Tuple[int, int, str, str]] = []
@@ -107,13 +111,42 @@ class _FunctionFacts:
         self.raw_writes: List[Tuple[int, int, str, str]] = []
         #: superblock call sites: [(lineno, col, has_release_barrier)]
         self.superblock_calls: List[Tuple[int, int, bool]] = []
-        self._collect()
-        self.effects.sort(key=lambda e: (e[0], e[1]))
-        self.calls.sort()
-        self.raw_writes.sort()
 
-    def _collect(self) -> None:
-        own_body = list(ast.iter_child_nodes(self.node))
+    @classmethod
+    def collect(cls, qualname: str, node: ast.AST,
+                relpath: str) -> "_FunctionFacts":
+        fact = cls(qualname, node.name, relpath)
+        fact._collect(node)
+        fact.effects.sort(key=lambda e: (e[0], e[1]))
+        fact.calls.sort()
+        fact.raw_writes.sort()
+        return fact
+
+    def to_json(self) -> dict:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "effects": [list(item) for item in self.effects],
+            "calls": [list(item) for item in self.calls],
+            "raw_writes": [list(item) for item in self.raw_writes],
+            "superblock_calls": [
+                list(item) for item in self.superblock_calls
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, relpath: str, data: dict) -> "_FunctionFacts":
+        fact = cls(data["qualname"], data["name"], relpath)
+        fact.effects = [tuple(item) for item in data["effects"]]
+        fact.calls = [tuple(item) for item in data["calls"]]
+        fact.raw_writes = [tuple(item) for item in data["raw_writes"]]
+        fact.superblock_calls = [
+            tuple(item) for item in data["superblock_calls"]
+        ]
+        return fact
+
+    def _collect(self, fn_node: ast.AST) -> None:
+        own_body = list(ast.iter_child_nodes(fn_node))
         for child in own_body:
             if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
                                   ast.ClassDef)):
@@ -189,32 +222,43 @@ class CrashOrderingRule(Rule):
         "write site sits under a registered failpoint"
     )
 
+    #: facts-cache extractor version (bump when the facts change shape)
+    version = 1
+
     def check(self, tree: ProjectTree) -> List[Finding]:
         config = tree.config
-        scoped = [
-            mod for mod in tree.modules
-            if mod.relpath.startswith(config.objstore_prefix)
-        ]
+        extracted = tree.facts(
+            self.name, self.version,
+            lambda mod: self._extract(mod, config),
+        )
         facts: Dict[str, List[_FunctionFacts]] = {}
-        per_module: List[Tuple[object, _FunctionFacts]] = []
-        for mod in scoped:
-            for qual, node in mod.scopes():
-                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    continue
-                fact = _FunctionFacts(qual, node, mod.relpath)
-                facts.setdefault(node.name, []).append(fact)
-                per_module.append((mod, fact))
+        per_module: List[_FunctionFacts] = []
+        for relpath in extracted:
+            for data in extracted[relpath]:
+                fact = _FunctionFacts.from_json(relpath, data)
+                facts.setdefault(fact.name, []).append(fact)
+                per_module.append(fact)
 
         findings: List[Finding] = []
-        for mod, fact in per_module:
-            adapter = mod.relpath in config.adapter_modules
-            findings.extend(
-                self._check_ordering(mod, fact, facts)
-            )
+        for fact in per_module:
+            adapter = fact.relpath in config.adapter_modules
+            findings.extend(self._check_ordering(fact, facts))
             if not adapter:
-                findings.extend(self._check_coverage(mod, fact))
-                findings.extend(self._check_barrier(mod, fact))
+                findings.extend(self._check_coverage(fact))
+                findings.extend(self._check_barrier(fact))
         return findings
+
+    @staticmethod
+    def _extract(mod, config) -> List[dict]:
+        if not mod.relpath.startswith(config.objstore_prefix):
+            return []
+        out = []
+        for qual, node in mod.scopes():
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.append(
+                    _FunctionFacts.collect(qual, node, mod.relpath).to_json()
+                )
+        return out
 
     # -- superblock-after-records ------------------------------------------------
 
@@ -248,7 +292,7 @@ class CrashOrderingRule(Rule):
                 out.append(item)
         return out
 
-    def _check_ordering(self, mod, fact: _FunctionFacts,
+    def _check_ordering(self, fact: _FunctionFacts,
                         facts: Dict[str, List[_FunctionFacts]]) -> List[Finding]:
         """Within ``fact``, no SUPER effect may be reachable while a
         batched record (its own or an inlined callee's) is unflushed."""
@@ -259,7 +303,7 @@ class CrashOrderingRule(Rule):
         ]
         for line, col, callee in fact.calls:
             merged.append(
-                (line, col, self._summary(callee, facts, (fact.node.name,)),
+                (line, col, self._summary(callee, facts, (fact.name,)),
                  callee)
             )
         merged.sort(key=lambda item: (item[0], item[1]))
@@ -276,7 +320,7 @@ class CrashOrderingRule(Rule):
                 elif effect == SUPER and pending_since is not None:
                     findings.append(Finding(
                         rule=self.name,
-                        path=mod.relpath,
+                        path=fact.relpath,
                         line=line,
                         col=col,
                         message=(
@@ -291,7 +335,7 @@ class CrashOrderingRule(Rule):
 
     # -- cross-queue barrier -------------------------------------------------------
 
-    def _check_barrier(self, mod, fact: _FunctionFacts) -> List[Finding]:
+    def _check_barrier(self, fact: _FunctionFacts) -> List[Finding]:
         """Store-layer ``write_superblock`` calls must pass a real
         ``release_ns=`` barrier: per-queue FIFO cannot order the
         superblock after records a sharded flush submitted on *other*
@@ -303,7 +347,7 @@ class CrashOrderingRule(Rule):
                 continue
             findings.append(Finding(
                 rule=self.name,
-                path=mod.relpath,
+                path=fact.relpath,
                 line=line,
                 col=col,
                 message=(
@@ -318,7 +362,7 @@ class CrashOrderingRule(Rule):
 
     # -- failpoint coverage --------------------------------------------------------
 
-    def _check_coverage(self, mod, fact: _FunctionFacts) -> List[Finding]:
+    def _check_coverage(self, fact: _FunctionFacts) -> List[Finding]:
         findings: List[Finding] = []
         fires_before = [
             (line, col) for line, col, effect, _ in fact.effects
@@ -328,7 +372,7 @@ class CrashOrderingRule(Rule):
             if kind == "device":
                 findings.append(Finding(
                     rule=self.name,
-                    path=mod.relpath,
+                    path=fact.relpath,
                     line=line,
                     col=col,
                     message=(
@@ -345,7 +389,7 @@ class CrashOrderingRule(Rule):
             if not covered:
                 findings.append(Finding(
                     rule=self.name,
-                    path=mod.relpath,
+                    path=fact.relpath,
                     line=line,
                     col=col,
                     message=(

@@ -1,0 +1,100 @@
+"""``exception-safety``: broad ``except`` never swallows a power cut.
+
+:class:`~repro.errors.PowerCut` subclasses ``AuroraError`` subclasses
+``Exception`` — so a routine ``except Exception:`` around code that
+can fire a failpoint will catch the *injected crash* too, and the
+sweep records a clean run where the workload actually died.  That is
+the worst kind of test rot: the oracle silently stops observing.
+
+For every ``try`` whose body can fire a failpoint or raise a
+``PowerCut`` (its own statements, or any callee by transitive effect
+summary), the handlers are scanned in order:
+
+- an explicit ``except PowerCut`` handler is *deliberate* (the sweep
+  harness itself catches injected cuts this way) and clears the whole
+  ``try``;
+- a handler broad enough to catch a power cut without naming it
+  (``except Exception``, ``except AuroraError``, a bare ``except`` —
+  :attr:`AnalyzerConfig.powercut_catchers` minus ``PowerCut`` itself)
+  must re-raise (bare ``raise`` or ``raise <caught name>``) or it is a
+  finding.  The fix is one line above the broad handler::
+
+      except PowerCut:
+          raise
+
+Handlers after the first finding in a ``try`` are not re-reported —
+one fix clears them all.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.core import Finding, ProjectTree, Rule
+from repro.analysis.effects import FAILPOINT_FIRE, RAISES_POWERCUT
+
+#: effects that can surface as an in-flight PowerCut
+_CUT_EFFECTS = frozenset({FAILPOINT_FIRE, RAISES_POWERCUT})
+
+
+class ExceptionSafetyRule(Rule):
+    name = "exception-safety"
+    summary = (
+        "no except broad enough to swallow PowerCut, without re-raise, "
+        "where a failpoint can fire"
+    )
+
+    def check(self, tree: ProjectTree) -> List[Finding]:
+        analysis = tree.effects()
+        broad = frozenset(tree.config.powercut_catchers) - {"PowerCut"}
+        findings: List[Finding] = []
+        for node_id in sorted(analysis.nodes):
+            node = analysis.nodes[node_id]
+            for try_record in node.record["tries"]:
+                if not self._body_can_cut(analysis, node, try_record):
+                    continue
+                findings.extend(
+                    self._check_handlers(node, try_record, broad)
+                )
+        return findings
+
+    @staticmethod
+    def _body_can_cut(analysis, node, try_record) -> bool:
+        """Whether the try body can have a PowerCut in flight."""
+        for _line, _col, atom, _detail in try_record["effects"]:
+            if atom in _CUT_EFFECTS:
+                return True
+        for call in try_record["calls"]:
+            for callee in analysis.resolve_call(node, call):
+                if analysis.summaries[callee] & _CUT_EFFECTS:
+                    return True
+        return False
+
+    def _check_handlers(self, node, try_record,
+                        broad: frozenset) -> List[Finding]:
+        for handler in try_record["handlers"]:
+            if "PowerCut" in handler["types"]:
+                # explicitly named: the author decided about power cuts
+                return []
+            too_broad = handler["bare"] or any(
+                caught in broad for caught in handler["types"]
+            )
+            if too_broad and not handler["reraises"]:
+                caught = "bare except" if handler["bare"] else (
+                    "except " + "/".join(handler["types"])
+                )
+                return [Finding(
+                    rule=self.name,
+                    path=node.relpath,
+                    line=handler["line"],
+                    col=handler["col"],
+                    message=(
+                        f"{caught} can swallow a PowerCut from a "
+                        "failpoint firing in this try block, so an "
+                        "injected crash reads as a clean run; add "
+                        "'except PowerCut: raise' above it (or "
+                        "re-raise)"
+                    ),
+                    symbol=node.qual,
+                )]
+        return []

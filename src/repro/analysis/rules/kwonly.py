@@ -54,24 +54,40 @@ class KwOnlyApiRule(Rule):
         "parameters keyword-only, and reject blind **kwargs"
     )
 
+    #: facts-cache extractor version (bump when findings change shape)
+    version = 1
+
     def check(self, tree: ProjectTree) -> List[Finding]:
+        config = tree.config
+        facts = tree.facts(
+            self.name, self.version,
+            lambda mod: self._extract(mod, config),
+        )
+        return [
+            Finding.from_json(data)
+            for relpath in facts
+            for data in facts[relpath]
+        ]
+
+    def _extract(self, mod, config) -> List[dict]:
+        if (mod.relpath not in config.api_modules
+                and not mod.relpath.startswith(tuple(config.api_prefixes))):
+            return []
+        return [finding.to_json() for finding in self._check_api_module(mod)]
+
+    def _check_api_module(self, mod) -> List[Finding]:
         findings: List[Finding] = []
-        for mod in tree.modules:
-            if (mod.relpath not in tree.config.api_modules
-                    and not mod.relpath.startswith(
-                        tuple(tree.config.api_prefixes))):
+        for qual, node in mod.scopes():
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
-            for qual, node in mod.scopes():
-                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    continue
-                if node.name.startswith("_"):
-                    continue
-                # nested functions (closures) are implementation detail
-                if any(part.startswith("_") for part in qual.split(".")):
-                    continue
-                if self._is_nested(mod, node):
-                    continue
-                findings.extend(self._check_function(mod, qual, node))
+            if node.name.startswith("_"):
+                continue
+            # nested functions (closures) are implementation detail
+            if any(part.startswith("_") for part in qual.split(".")):
+                continue
+            if self._is_nested(mod, node):
+                continue
+            findings.extend(self._check_function(mod, qual, node))
         return findings
 
     @staticmethod

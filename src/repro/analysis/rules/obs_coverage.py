@@ -1,0 +1,118 @@
+"""``obs-coverage``: the metrics catalogue is emitted and documented.
+
+The docs tests pin OBSERVABILITY.md to the catalogue in
+:mod:`repro.obs.names`; this rule pins the catalogue to the *code*.
+For every counter/gauge/histogram constant (``C_*`` / ``G_*`` /
+``H_*``):
+
+1. **emitted** — some function passes the constant to an instrument
+   API (``counter``/``gauge``/``histogram``), and at least one such
+   emit site is reachable from a public entry point.  ``sls stats``
+   renders whatever the registry holds, so an instrument nobody emits
+   is a documented dashboard row that will never move.
+2. **documented** — the instrument's string value appears in
+   OBSERVABILITY.md (:attr:`AnalyzerConfig.obs_doc`, looked up in the
+   tree root and then its parent, so the rule works over ``src/``
+   checkouts and fixture trees alike).
+
+Spans and events are out of scope: they are trace structure, already
+covered by ``registry-drift``'s reference check, and their rendering
+is the trace itself rather than a stats row.
+
+Findings anchor at the constant's definition in the obs catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.core import Finding, ProjectTree, Rule
+
+#: catalogue prefixes in scope (stats-rendered metric kinds)
+METRIC_PREFIXES = ("C_", "G_", "H_")
+
+
+class ObsCoverageRule(Rule):
+    name = "obs-coverage"
+    summary = (
+        "every catalogued counter/gauge/histogram is emitted on a "
+        "reachable path and documented in OBSERVABILITY.md"
+    )
+
+    def check(self, tree: ProjectTree) -> List[Finding]:
+        config = tree.config
+        scoped = {
+            symbol: value
+            for symbol, value in config.obs_registry.items()
+            if symbol.startswith(METRIC_PREFIXES)
+        }
+        registry_path = config.registry_modules[0]
+        # no metrics in scope, or a tree without the obs catalogue
+        # module (a fixture or scratch tree): nothing to pin
+        if not scoped or tree.module(registry_path) is None:
+            return []
+        analysis = tree.effects()
+        anchors = analysis.constants.get(registry_path, {})
+        public_reach = analysis.reachable_from(analysis.public_roots())
+        doc_text = self._doc_text(tree)
+
+        findings: List[Finding] = []
+        for symbol in sorted(scoped):
+            value = scoped[symbol]
+            line, col = 0, 0
+            anchor = anchors.get(symbol)
+            if anchor is not None:
+                line, col = anchor[0], anchor[1]
+            sites = analysis.emit_sites.get(symbol, [])
+            if not sites:
+                findings.append(Finding(
+                    rule=self.name,
+                    path=registry_path,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"metric {symbol} ({value!r}) is never emitted; "
+                        "a catalogued stats row that will never move — "
+                        "emit it or delete it"
+                    ),
+                    symbol=symbol,
+                ))
+            elif not any(site in public_reach for site in sites):
+                findings.append(Finding(
+                    rule=self.name,
+                    path=registry_path,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"metric {symbol} ({value!r}) is emitted only "
+                        "in code unreachable from any public entry "
+                        "point; no workload can move this stats row"
+                    ),
+                    symbol=symbol,
+                ))
+            if doc_text is not None and value not in doc_text:
+                findings.append(Finding(
+                    rule=self.name,
+                    path=registry_path,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"metric {symbol} ({value!r}) is not documented "
+                        f"in {tree.config.obs_doc}; the catalogue and "
+                        "the doc table are pinned to each other"
+                    ),
+                    symbol=symbol,
+                ))
+        return findings
+
+    @staticmethod
+    def _doc_text(tree: ProjectTree) -> Optional[str]:
+        """OBSERVABILITY.md contents, or None to skip the doc check
+        (no doc configured, or none present near the tree)."""
+        if not tree.config.obs_doc:
+            return None
+        for base in (tree.root, tree.root.parent):
+            candidate = base / tree.config.obs_doc
+            if candidate.is_file():
+                return candidate.read_text()
+        return None

@@ -41,53 +41,96 @@ class RegistryDriftRule(Rule):
         "and every catalogue constant is referenced"
     )
 
+    #: facts-cache extractor version (bump when the facts change shape)
+    version = 1
+
     def check(self, tree: ProjectTree) -> List[Finding]:
         config = tree.config
-        values = {}
-        values.update(config.obs_registry)
-        values.update(config.fault_registry)
-        value_set = frozenset(values.values())
+        facts = tree.facts(
+            self.name, self.version,
+            lambda mod: self._extract(mod, config),
+        )
 
         findings: List[Finding] = []
-        referenced: Dict[str, int] = {name: 0 for name in values}
-
-        for mod in tree.modules:
-            is_registry_def = mod.relpath in config.registry_modules
-            if not is_registry_def:
-                self._count_references(mod, referenced)
-            if is_registry_def or any(
-                mod.relpath.startswith(prefix) for prefix in config.drift_exempt
-            ):
-                continue
-            instrumented = any(
-                mod.imports.imports_module(dotted)
-                for dotted in REGISTRY_IMPORTS
+        referenced: Dict[str, int] = {}
+        for relpath in facts:
+            findings.extend(
+                Finding.from_json(data) for data in facts[relpath]["findings"]
             )
-            if not instrumented:
-                continue
-            findings.extend(self._check_literals(mod, value_set))
+            for symbol, count in facts[relpath]["refs"].items():
+                referenced[symbol] = referenced.get(symbol, 0) + count
 
         for registry_path, constants in (
             (config.registry_modules[0], config.obs_registry),
             (config.registry_modules[-1], config.fault_registry),
         ):
-            mod = tree.module(registry_path)
-            if mod is None:
+            defined = facts.get(registry_path)
+            if defined is None:
                 continue
-            findings.extend(
-                self._check_unreferenced(mod, constants, referenced)
-            )
+            for name in defined["constants"]:
+                if name not in constants or referenced.get(name, 0):
+                    continue
+                line, col = defined["constants"][name]
+                findings.append(Finding(
+                    rule=self.name,
+                    path=registry_path,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"catalogue constant {name} "
+                        f"({constants[name]!r}) is never referenced; "
+                        "delete it or suppress with a justification"
+                    ),
+                    symbol=name,
+                ))
         return findings
 
-    def _count_references(self, mod: SourceModule,
-                          referenced: Dict[str, int]) -> None:
+    def _extract(self, mod: SourceModule, config) -> dict:
+        """Per-module facts: inline-literal findings, catalogue symbol
+        reference counts, and (for the registry modules themselves)
+        the constant definition sites."""
+        values = {}
+        values.update(config.obs_registry)
+        values.update(config.fault_registry)
+        is_registry_def = mod.relpath in config.registry_modules
+
+        refs: Dict[str, int] = {}
+        if not is_registry_def:
+            self._count_references(mod, values, refs)
+
+        findings: List[Finding] = []
+        exempt = is_registry_def or any(
+            mod.relpath.startswith(prefix) for prefix in config.drift_exempt
+        )
+        if not exempt and any(
+            mod.imports.imports_module(dotted) for dotted in REGISTRY_IMPORTS
+        ):
+            findings = self._check_literals(mod, frozenset(values.values()))
+
+        constants: Dict[str, list] = {}
+        if is_registry_def:
+            for node in ast.walk(mod.tree):
+                if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                        and node.targets[0].id in values):
+                    constants[node.targets[0].id] = [
+                        node.lineno, node.col_offset,
+                    ]
+        return {
+            "findings": [finding.to_json() for finding in findings],
+            "refs": refs,
+            "constants": constants,
+        }
+
+    def _count_references(self, mod: SourceModule, values: Dict[str, str],
+                          refs: Dict[str, int]) -> None:
         """Count uses of catalogue constants: attribute accesses
         (``obs_names.SPAN_GC``) and imported names."""
         for node in ast.walk(mod.tree):
-            if isinstance(node, ast.Attribute) and node.attr in referenced:
-                referenced[node.attr] += 1
-            elif isinstance(node, ast.Name) and node.id in referenced:
-                referenced[node.id] += 1
+            if isinstance(node, ast.Attribute) and node.attr in values:
+                refs[node.attr] = refs.get(node.attr, 0) + 1
+            elif isinstance(node, ast.Name) and node.id in values:
+                refs[node.id] = refs.get(node.id, 0) + 1
 
     def _check_literals(self, mod: SourceModule,
                         value_set: frozenset) -> List[Finding]:
@@ -132,25 +175,3 @@ class RegistryDriftRule(Rule):
                 ))
         return findings
 
-    def _check_unreferenced(self, mod: SourceModule, constants: Dict[str, str],
-                            referenced: Dict[str, int]) -> List[Finding]:
-        findings: List[Finding] = []
-        for node in ast.walk(mod.tree):
-            if not (isinstance(node, ast.Assign) and len(node.targets) == 1
-                    and isinstance(node.targets[0], ast.Name)):
-                continue
-            name = node.targets[0].id
-            if name in constants and referenced.get(name, 0) == 0:
-                findings.append(Finding(
-                    rule=self.name,
-                    path=mod.relpath,
-                    line=node.lineno,
-                    col=node.col_offset,
-                    message=(
-                        f"catalogue constant {name} "
-                        f"({constants[name]!r}) is never referenced; "
-                        "delete it or suppress with a justification"
-                    ),
-                    symbol=name,
-                ))
-        return findings

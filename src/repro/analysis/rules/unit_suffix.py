@@ -93,13 +93,25 @@ class UnitSuffixRule(Rule):
         "direct copies of the opposite unit class"
     )
 
+    #: facts-cache extractor version (bump when findings change shape)
+    version = 1
+
     def check(self, tree: ProjectTree) -> List[Finding]:
-        findings: List[Finding] = []
-        for mod in tree.modules:
-            if mod.relpath in tree.config.units_modules:
-                continue
-            findings.extend(self._check_module(mod))
-        return findings
+        config = tree.config
+        facts = tree.facts(
+            self.name, self.version,
+            lambda mod: self._extract(mod, config),
+        )
+        return [
+            Finding.from_json(data)
+            for relpath in facts
+            for data in facts[relpath]
+        ]
+
+    def _extract(self, mod, config) -> List[dict]:
+        if mod.relpath in config.units_modules:
+            return []
+        return [finding.to_json() for finding in self._check_module(mod)]
 
     def _check_module(self, mod) -> List[Finding]:
         findings: List[Finding] = []

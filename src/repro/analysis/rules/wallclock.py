@@ -41,11 +41,19 @@ class WallClockRule(Rule):
         "simulated-kernel code (alias-aware)"
     )
 
+    #: facts-cache extractor version (bump when findings change shape)
+    version = 1
+
     def check(self, tree: ProjectTree) -> List[Finding]:
-        findings: List[Finding] = []
-        for mod in tree.modules:
-            findings.extend(self._check_module(mod))
-        return findings
+        facts = tree.facts(self.name, self.version, self._extract)
+        return [
+            Finding.from_json(data)
+            for relpath in facts
+            for data in facts[relpath]
+        ]
+
+    def _extract(self, mod) -> List[dict]:
+        return [finding.to_json() for finding in self._check_module(mod)]
 
     def _flagged_target(self, dotted: str) -> str:
         """Why ``dotted`` (a resolved import path) is banned, or ''."""

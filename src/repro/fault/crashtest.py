@@ -358,6 +358,9 @@ def verify_recovery(state: WorkloadState, device: NvmeDevice,
     try:
         image = load_image_from_store(store, latest)
         procs, _metrics = sls.restore(image, backend_name="disk0", store=store)
+    except PowerCut:
+        # an injected cut during verification is not a recovery verdict
+        raise
     except Exception as exc:  # any failure to restore is a finding
         point.failures.append(f"restore of {latest.name!r} failed: {exc}")
         return
@@ -385,6 +388,10 @@ def _verify_fsck(device: NvmeDevice, point: CrashPointResult) -> None:
     store = ObjectStore(device)
     try:
         report = repair_store(store)
+    except PowerCut:
+        # an injected cut mid-repair must fail the sweep, not read as
+        # "fsck found nothing"
+        raise
     except Exception as exc:
         point.failures.append(f"fsck repair raised: {exc}")
         return

@@ -1,0 +1,13 @@
+"""Minimal storage device: the media/superblock write sinks."""
+
+
+class StorageDevice:
+    def __init__(self):
+        self.blocks = {}
+        self.superblock = b""
+
+    def write(self, lba, data):
+        self.blocks[lba] = data
+
+    def write_superblock(self, data):
+        self.superblock = data

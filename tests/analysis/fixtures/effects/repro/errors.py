@@ -1,0 +1,9 @@
+"""Exception shapes mirroring the real tree's hierarchy."""
+
+
+class AuroraError(Exception):
+    pass
+
+
+class PowerCut(AuroraError):
+    pass

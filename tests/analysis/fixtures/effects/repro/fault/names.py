@@ -1,0 +1,10 @@
+"""Fault catalogue for the effects-rule fixtures."""
+
+#: fired on the good commit path; swept
+FP_COMMIT = "fx.commit"
+#: catalogued but never fired anywhere in the tree
+FP_DEAD = "fx.dead"
+#: fired only in a private helper nobody calls (dead code)
+FP_ORPHAN = "fx.orphan"
+#: swept value whose fire site the sweep entry never reaches
+FP_OFF_SWEEP = "fx.off_sweep"

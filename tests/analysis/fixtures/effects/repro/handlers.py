@@ -1,0 +1,49 @@
+"""Exception-safety shapes: cuttable try bodies under broad handlers."""
+
+from repro.errors import PowerCut
+from repro.fault.names import FP_COMMIT
+
+
+class Worker:
+    def __init__(self, faults):
+        self.faults = faults
+
+    def risky(self):
+        self.faults.fire(FP_COMMIT)
+
+    def bad_swallow(self):
+        # the cut arrives through the callee; the broad handler eats it
+        try:
+            self.risky()
+        except Exception:
+            return None
+
+    def bad_bare(self):
+        # bare except over an intrinsic fire site
+        try:
+            self.faults.fire(FP_COMMIT)
+        except:  # noqa: E722 (deliberately bare for the fixture)
+            pass
+
+    def good_explicit(self):
+        # an explicit PowerCut arm makes the broad arm deliberate
+        try:
+            self.risky()
+        except PowerCut:
+            raise
+        except Exception:
+            return None
+
+    def good_reraise(self):
+        # broad, but the cut is propagated
+        try:
+            self.risky()
+        except Exception:
+            raise
+
+    def good_no_cut(self):
+        # nothing in the body can cut; broad swallow is fine
+        try:
+            return len(self.__dict__)
+        except Exception:
+            return None

@@ -1,0 +1,10 @@
+"""Metric catalogue for the effects-rule fixtures."""
+
+#: emitted on the commit path, documented
+C_OPS = "fx.ops_total"
+#: catalogued but never emitted
+C_NEVER = "fx.never_total"
+#: emitted only in a private helper nobody calls (dead code)
+G_DEAD = "fx.dead_ratio"
+#: emitted and reachable but missing from OBSERVABILITY.md
+H_UNDOC = "fx.undoc_ns"

@@ -1,0 +1,41 @@
+"""Durability roots in every ordering shape the rule distinguishes."""
+
+from repro.device import StorageDevice
+from repro.fault.names import FP_COMMIT, FP_OFF_SWEEP, FP_ORPHAN
+from repro.obs.names import C_OPS, G_DEAD, H_UNDOC
+
+
+class Store:
+    def __init__(self, faults, obs):
+        self.device = StorageDevice()
+        self.faults = faults
+        self.obs = obs
+
+    def commit(self, data):
+        """Good: failpoint, then media, superblock last."""
+        self.faults.fire(FP_COMMIT)
+        self.device.write(0, data)
+        self.obs.counter(C_OPS, 1)
+        self.obs.histogram(H_UNDOC, 5)
+        self.device.write_superblock(b"sb")
+
+    def commit_media_first(self, data):
+        """Bad: media write before any failpoint fires."""
+        self.device.write(0, data)
+        self.faults.fire(FP_COMMIT)
+        self.device.write_superblock(b"sb")
+
+    def commit_after_super(self, data):
+        """Bad: media write after the last superblock write."""
+        self.faults.fire(FP_COMMIT)
+        self.device.write_superblock(b"sb")
+        self.device.write(1, data)
+
+    def off_sweep(self):
+        """Public (so the fire site is live) but never swept."""
+        self.faults.fire(FP_OFF_SWEEP)
+
+    def _orphan(self):
+        """Dead code: nobody calls this, so nothing here is live."""
+        self.faults.fire(FP_ORPHAN)
+        self.obs.gauge(G_DEAD, 1)

@@ -1,0 +1,10 @@
+"""The fixture crash sweep: reaches the commit paths, not off_sweep."""
+
+from repro.store import Store
+
+
+def run_sweep(faults, obs):
+    store = Store(faults, obs)
+    store.commit(b"x")
+    store.commit_media_first(b"x")
+    store.commit_after_super(b"x")

@@ -27,7 +27,7 @@ def test_shipped_tree_is_clean_modulo_baseline():
     report = lint_tree(SRC, None, baseline)
     assert report.clean, "\n".join(f.render() for f in report.findings)
     assert report.stale_baseline == []
-    assert len(report.rules_run) == 5
+    assert len(report.rules_run) == 9
 
 
 def test_cli_over_shipped_tree_exits_zero(capsys):
@@ -46,7 +46,9 @@ def test_list_rules(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
     for name in ("no-wallclock", "registry-drift", "crash-ordering",
-                 "kwonly-api", "unit-suffix"):
+                 "kwonly-api", "unit-suffix", "durability-order",
+                 "failpoint-reachability", "obs-coverage",
+                 "exception-safety"):
         assert name in out
 
 
@@ -117,3 +119,192 @@ def test_baseline_absorb_waive_and_go_stale(tmp_path, capsys):
     assert main(["lint", str(tree), "--update-baseline"]) == 0
     assert json.loads(baseline_path.read_text())["entries"] == []
     assert main(["lint", str(tree)]) == 0
+
+
+# -- usage errors ----------------------------------------------------------------
+
+
+def test_malformed_baseline_is_usage_error(tmp_path, capsys):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "ok.py").write_text(GOOD_WALLCLOCK)
+    (tree / ".sls-lint-baseline.json").write_text("{not json")
+    assert main(["lint", str(tree)]) == 2
+    assert "malformed baseline" in capsys.readouterr().err
+
+
+def test_baseline_missing_fingerprint_is_usage_error(tmp_path, capsys):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "ok.py").write_text(GOOD_WALLCLOCK)
+    (tree / ".sls-lint-baseline.json").write_text(
+        json.dumps({"entries": [{"rule": "no-wallclock"}]})
+    )
+    assert main(["lint", str(tree)]) == 2
+    assert "malformed baseline" in capsys.readouterr().err
+
+
+def test_changed_outside_git_is_usage_error(tmp_path, capsys):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "ok.py").write_text(GOOD_WALLCLOCK)
+    assert main(["lint", str(tree), "--changed"]) == 2
+    assert "merge base" in capsys.readouterr().err
+
+
+# -- fixtures are data, not code -------------------------------------------------
+
+
+def test_fixture_corpora_are_never_imported():
+    # the bad fixtures contain wall-clock reads, bare excepts, and
+    # worse; the analyzer must only ever *parse* them
+    import subprocess
+    import sys
+
+    lint_fixtures = (
+        "import sys\n"
+        "from repro.cli.main import main\n"
+        f"main(['lint', {str(FIXTURES)!r}, '--no-baseline', '--no-cache'])\n"
+        "bad = [name for name, mod in sys.modules.items()\n"
+        "       if 'fixtures' in (getattr(mod, '__file__', '') or '')]\n"
+        "print('IMPORTED:' + ','.join(bad))\n"
+    )
+    done = subprocess.run(
+        [sys.executable, "-c", lint_fixtures],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert done.returncode == 0, done.stderr
+    assert "IMPORTED:\n" in done.stdout
+
+
+# -- the summary cache at the CLI ------------------------------------------------
+
+
+def test_cache_file_appears_and_warm_run_agrees(tmp_path, capsys):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "bad.py").write_text(BAD_WALLCLOCK)
+    cache_path = tree / ".sls-lint-cache.json"
+
+    assert main(["lint", str(tree), "--no-baseline"]) == 1
+    cold = capsys.readouterr().out
+    assert cache_path.exists()
+
+    assert main(["lint", str(tree), "--no-baseline"]) == 1
+    warm = capsys.readouterr().out
+    assert warm == cold  # byte-identical report off the warm cache
+
+
+def test_no_cache_leaves_no_file(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "bad.py").write_text(BAD_WALLCLOCK)
+    assert main(["lint", str(tree), "--no-baseline", "--no-cache"]) == 1
+    assert not (tree / ".sls-lint-cache.json").exists()
+
+
+# -- --changed -------------------------------------------------------------------
+
+
+def _git(tree, *argv):
+    import subprocess
+
+    subprocess.run(
+        ["git", "-c", "user.email=t@example.com", "-c", "user.name=t",
+         *argv],
+        cwd=tree, check=True, capture_output=True,
+    )
+
+
+def test_changed_reports_only_the_diffed_files(tmp_path, capsys):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "old.py").write_text(BAD_WALLCLOCK)
+    _git(tree, "init", "-b", "main")
+    _git(tree, "add", ".")
+    _git(tree, "commit", "-m", "seed")
+    (tree / "new.py").write_text(BAD_WALLCLOCK)
+
+    # full run sees both files...
+    code = main(["lint", str(tree), "--no-baseline", "--format", "json"])
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert {f["path"] for f in document["findings"]} == {"old.py", "new.py"}
+
+    # ...--changed reports only the untracked newcomer
+    code = main(["lint", str(tree), "--no-baseline", "--changed",
+                 "--format", "json"])
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert {f["path"] for f in document["findings"]} == {"new.py"}
+
+
+def test_changed_clean_when_diff_is_clean(tmp_path, capsys):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "old.py").write_text(BAD_WALLCLOCK)
+    _git(tree, "init", "-b", "main")
+    _git(tree, "add", ".")
+    _git(tree, "commit", "-m", "seed")
+    (tree / "new.py").write_text(GOOD_WALLCLOCK)
+
+    assert main(["lint", str(tree), "--no-baseline", "--changed"]) == 0
+    assert "tree is clean" in capsys.readouterr().out
+
+
+# -- --update-baseline pruning ---------------------------------------------------
+
+
+def test_update_baseline_reports_pruned_fingerprints(tmp_path, capsys):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "bad.py").write_text(BAD_WALLCLOCK)
+    baseline_path = tree / ".sls-lint-baseline.json"
+
+    assert main(["lint", str(tree), "--update-baseline"]) == 0
+    [entry] = json.loads(baseline_path.read_text())["entries"]
+    capsys.readouterr()
+
+    (tree / "bad.py").write_text(GOOD_WALLCLOCK)
+    assert main(["lint", str(tree), "--update-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert f"pruned stale entry {entry['fingerprint']}" in out
+    assert json.loads(baseline_path.read_text())["entries"] == []
+
+
+def test_update_baseline_prunes_only_rules_that_ran(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "bad.py").write_text(BAD_WALLCLOCK)
+    baseline_path = tree / ".sls-lint-baseline.json"
+
+    assert main(["lint", str(tree), "--update-baseline"]) == 0
+    [entry] = json.loads(baseline_path.read_text())["entries"]
+    assert entry["rule"] == "no-wallclock"
+
+    # a rule-scoped refresh must not GC the other rules' entries
+    assert main(["lint", str(tree), "--update-baseline",
+                 "--rule", "unit-suffix"]) == 0
+    [kept] = json.loads(baseline_path.read_text())["entries"]
+    assert kept["fingerprint"] == entry["fingerprint"]
+
+
+# -- --graph ---------------------------------------------------------------------
+
+
+def test_graph_json_from_the_cli(capsys):
+    assert main(["lint", str(SRC), "--graph", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema"] == 1
+    assert any(
+        node["qual"] == "SLS.checkpoint" and node["effects"]
+        for node in document["nodes"]
+    )
+
+
+def test_graph_dot_from_the_cli(capsys):
+    assert main(["lint", str(SRC), "--graph", "dot"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph sls_effects {")
+    assert out.rstrip().endswith("}")

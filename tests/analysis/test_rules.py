@@ -200,3 +200,162 @@ def test_fingerprint_ignores_line_numbers():
 def test_unknown_rule_name_rejected():
     with pytest.raises(ValueError, match="unknown rule"):
         make_rules(["no-such-rule"])
+
+
+# -- the effects fixture (shared by the four whole-program rules) ----------------
+
+
+def effects_config():
+    return AnalyzerConfig(
+        obs_registry={
+            "C_OPS": "fx.ops_total",
+            "C_NEVER": "fx.never_total",
+            "G_DEAD": "fx.dead_ratio",
+            "H_UNDOC": "fx.undoc_ns",
+        },
+        fault_registry={
+            "FP_COMMIT": "fx.commit",
+            "FP_DEAD": "fx.dead",
+            "FP_ORPHAN": "fx.orphan",
+            "FP_OFF_SWEEP": "fx.off_sweep",
+        },
+        durability_roots=(
+            "Store.commit",
+            "Store.commit_media_first",
+            "Store.commit_after_super",
+            "Store.gone",
+        ),
+        sweep_entry="repro/sweep.py::run_sweep",
+        sweep_sites=("fx.commit", "fx.off_sweep"),
+    )
+
+
+def run_effects_fixture(rule):
+    return run_fixture("effects", rule, effects_config())
+
+
+# -- durability-order -----------------------------------------------------------
+
+
+def test_durability_good_root_passes():
+    report = run_effects_fixture("durability-order")
+    assert [f for f in report.findings if f.symbol == "Store.commit"] == []
+
+
+def test_durability_media_before_fire_fails():
+    report = run_effects_fixture("durability-order")
+    [finding] = [f for f in report.findings
+                 if f.symbol == "Store.commit_media_first"]
+    assert "before any failpoint fires" in finding.message
+    assert finding.path == "repro/store.py"
+
+
+def test_durability_media_after_superblock_fails():
+    report = run_effects_fixture("durability-order")
+    [finding] = [f for f in report.findings
+                 if f.symbol == "Store.commit_after_super"]
+    assert "after the last SUPERBLOCK_WRITE" in finding.message
+
+
+def test_durability_missing_root_is_a_finding():
+    # renaming a configured root away must not silently disable it
+    report = run_effects_fixture("durability-order")
+    [finding] = [f for f in report.findings if f.symbol == "Store.gone"]
+    assert finding.path == "<config>"
+    assert "matches no function" in finding.message
+    assert len(report.findings) == 3
+
+
+# -- failpoint-reachability -----------------------------------------------------
+
+
+def test_failpoint_live_swept_constant_passes():
+    report = run_effects_fixture("failpoint-reachability")
+    assert [f for f in report.findings if f.symbol == "FP_COMMIT"] == []
+
+
+def test_failpoint_never_fired_fails():
+    report = run_effects_fixture("failpoint-reachability")
+    [finding] = [f for f in report.findings if f.symbol == "FP_DEAD"]
+    assert "never fired" in finding.message
+    assert finding.path == "repro/fault/names.py"
+    assert finding.line > 0  # anchored at the constant definition
+
+
+def test_failpoint_dead_code_fire_fails():
+    report = run_effects_fixture("failpoint-reachability")
+    [finding] = [f for f in report.findings if f.symbol == "FP_ORPHAN"]
+    assert "unreachable from any public entry point" in finding.message
+
+
+def test_failpoint_swept_but_off_sweep_fails():
+    # fired from a live public method, but the sweep never gets there
+    report = run_effects_fixture("failpoint-reachability")
+    [finding] = [f for f in report.findings if f.symbol == "FP_OFF_SWEEP"]
+    assert "no fire site reachable from repro/sweep.py::run_sweep" in (
+        finding.message
+    )
+    assert len(report.findings) == 3
+
+
+# -- obs-coverage ---------------------------------------------------------------
+
+
+def test_obs_emitted_documented_metric_passes():
+    report = run_effects_fixture("obs-coverage")
+    assert [f for f in report.findings if f.symbol == "C_OPS"] == []
+
+
+def test_obs_never_emitted_fails():
+    report = run_effects_fixture("obs-coverage")
+    [finding] = [f for f in report.findings if f.symbol == "C_NEVER"]
+    assert "never emitted" in finding.message
+    assert finding.path == "repro/obs/names.py"
+
+
+def test_obs_dead_code_emit_fails():
+    report = run_effects_fixture("obs-coverage")
+    [finding] = [f for f in report.findings if f.symbol == "G_DEAD"]
+    assert "unreachable from any public entry point" in finding.message
+
+
+def test_obs_undocumented_metric_fails():
+    report = run_effects_fixture("obs-coverage")
+    [finding] = [f for f in report.findings if f.symbol == "H_UNDOC"]
+    assert "not documented in OBSERVABILITY.md" in finding.message
+    assert len(report.findings) == 3
+
+
+# -- exception-safety -----------------------------------------------------------
+
+
+def test_exception_safety_broad_swallow_of_callee_cut_fails():
+    # the fire is two calls deep: proves the interprocedural summary
+    report = run_effects_fixture("exception-safety")
+    [finding] = [f for f in report.findings
+                 if f.symbol == "Worker.bad_swallow"]
+    assert "except Exception can swallow a PowerCut" in finding.message
+
+
+def test_exception_safety_bare_except_fails():
+    report = run_effects_fixture("exception-safety")
+    [finding] = [f for f in report.findings if f.symbol == "Worker.bad_bare"]
+    assert "bare except" in finding.message
+    assert len(report.findings) == 2
+
+
+def test_exception_safety_good_shapes_pass():
+    # explicit PowerCut arm, re-raising handler, cut-free body
+    report = run_effects_fixture("exception-safety")
+    good = {"Worker.good_explicit", "Worker.good_reraise",
+            "Worker.good_no_cut"}
+    assert [f for f in report.findings if f.symbol in good] == []
+
+
+def test_whole_program_rules_stay_quiet_off_repo_trees():
+    # a tree without the catalogue modules is not this repo: the
+    # whole-program promises are vacuous there, not violated
+    for rule in ("durability-order", "failpoint-reachability",
+                 "obs-coverage"):
+        report = run_fixture("wallclock", rule, effects_config())
+        assert report.findings == []
