@@ -266,7 +266,12 @@ def cmd_scrub(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.cli.bench import compare, run_suite, to_json
+    from repro.cli.bench import (
+        compare,
+        last_fault_log_jsonl,
+        run_suite,
+        to_json,
+    )
 
     if args.only and args.compare:
         print("--only runs a partial suite; it cannot be compared against "
@@ -278,6 +283,15 @@ def cmd_bench(args) -> int:
     except KeyError as exc:
         print(f"sls bench: {exc.args[0]}", file=sys.stderr)
         return 2
+    if args.fault_log:
+        fault_log = last_fault_log_jsonl()
+        if fault_log is None:
+            print("--fault-log set but the restorecache scenario did not run",
+                  file=sys.stderr)
+            return 2
+        with open(args.fault_log, "w") as handle:
+            handle.write(fault_log)
+        print(f"wrote recorded fault order to {args.fault_log}")
     rendered = to_json(results)
     if args.json:
         with open(args.json, "w") as handle:
@@ -335,6 +349,10 @@ def cmd_stats(args) -> int:
         if scrub is not None:
             print("-- scrub progress --")
             print(scrub)
+        pagecache = obs.render_pagecache(kobs.registry)
+        if pagecache is not None:
+            print("-- page cache --")
+            print(pagecache)
     if not shown:
         print("no instruments registered (did the target boot a kernel?)")
         return 1
@@ -397,6 +415,9 @@ def main(argv=None) -> int:
     bench.add_argument("--only", metavar="SCENARIO", default=None,
                        help="run a single scenario's cell grid "
                             "(local iteration; full suite is the CI default)")
+    bench.add_argument("--fault-log", metavar="PATH", default=None,
+                       help="write the restorecache scenario's recorded "
+                            "fault order (JSON lines) to PATH")
     fleet = sub.add_parser(
         "fleet",
         help="fleet-scale serverless tenancy scenario (storm + QoS demo)",

@@ -21,6 +21,7 @@ from repro.core.remote import MigrationReceiver, sls_send
 from repro.errors import AuroraError, SlsError
 from repro.hw.netdev import NetworkLink
 from repro.hw.nvme import NvmeDevice
+from repro.objstore.pagecache import FaultOrderLog
 from repro.objstore.store import ObjectStore
 from repro.posix.kernel import Kernel
 from repro.units import MIB, fmt_size, fmt_time
@@ -45,6 +46,9 @@ class SlsSession:
         self._apps: dict[str, object] = {}
         self._backends: dict[str, object] = {}
         self._redis_ws = redis_working_set
+        #: per-group recorded fault orders (``restore --record-faults``
+        #: fills one; ``restore --prefetch=recorded`` replays it)
+        self._fault_logs: dict[str, FaultOrderLog] = {}
 
     # -- app launching -------------------------------------------------------
 
@@ -153,9 +157,10 @@ class SlsSession:
         )
 
     def cmd_restore(self, group_name: str, *args) -> str:
-        """sls restore [image] [--lazy] [--backend=NAME] — restore an app."""
+        """sls restore [image] [--lazy] [--backend=NAME]
+        [--record-faults] [--prefetch=off|recorded|hot] — restore an app."""
         positional, flags = self._split_flags(
-            args, "restore", {"lazy", "backend"}
+            args, "restore", {"lazy", "backend", "record-faults", "prefetch"}
         )
         if len(positional) > 1:
             raise SlsError("restore takes at most one image name")
@@ -163,11 +168,23 @@ class SlsSession:
         backend = flags.get("backend")
         if backend is True:
             raise SlsError("--backend needs a value (--backend=nvme0)")
+        prefetch = flags.get("prefetch")
+        if prefetch is True:
+            raise SlsError("--prefetch needs a value (--prefetch=recorded)")
+        record_faults = bool(flags.get("record-faults"))
+        fault_log = None
+        if record_faults or prefetch == "recorded":
+            # One log per group: a --record-faults run fills it, a
+            # later --prefetch=recorded run of the same group replays it.
+            fault_log = self._fault_logs.setdefault(group_name, FaultOrderLog())
         options = RestoreOptions(
             backend=backend,
             lazy=bool(flags.get("lazy")),
             new_instance=True,
             name_suffix="-restored",
+            prefetch=prefetch,
+            record_faults=record_faults,
+            fault_log=fault_log,
         )
         group = self._group(group_name)
         image = (
@@ -176,12 +193,17 @@ class SlsSession:
         if image is None:
             raise SlsError(f"no image to restore for {group_name!r}")
         procs, metrics = self.sls.restore(image, **options.engine_kwargs())
+        extra = ""
+        if record_faults:
+            extra = "; recording fault order"
+        elif prefetch == "recorded":
+            extra = f"; replayed {len(fault_log)} recorded faults"
         return (
             f"restored {image.name} -> pids {[p.pid for p in procs]}"
             f" in {fmt_time(metrics.total_ns)}"
             f" (read {fmt_time(metrics.objstore_read_ns)},"
             f" memory {fmt_time(metrics.memory_ns)},"
-            f" metadata {fmt_time(metrics.metadata_ns)})"
+            f" metadata {fmt_time(metrics.metadata_ns)})" + extra
         )
 
     def cmd_ps(self) -> str:

@@ -96,6 +96,9 @@ class AuroraApi:
         new_instance: bool = False,
         name_suffix: str = "",
         prefetch_hot: bool = True,
+        prefetch: Optional[str] = None,
+        record_faults: bool = False,
+        fault_log=None,
         options: Optional[RestoreOptions] = None,
         **legacy,
     ) -> tuple[list[Process], RestoreMetrics]:
@@ -133,9 +136,10 @@ class AuroraApi:
             if backend is None:
                 backend = legacy["backend_name"]
         if options is not None:
-            if (backend, lazy, new_instance, name_suffix, prefetch_hot) != (
-                None, False, False, "", True
-            ):
+            if (
+                backend, lazy, new_instance, name_suffix, prefetch_hot,
+                prefetch, record_faults, fault_log,
+            ) != (None, False, False, "", True, None, False, None):
                 raise SlsError(
                     "pass either options= or individual keywords, not both"
                 )
@@ -143,6 +147,8 @@ class AuroraApi:
             options = RestoreOptions(
                 backend=backend, lazy=lazy, new_instance=new_instance,
                 name_suffix=name_suffix, prefetch_hot=prefetch_hot,
+                prefetch=prefetch, record_faults=record_faults,
+                fault_log=fault_log,
             )
         group = self._group()
         image = group.image_by_name(name) if name else group.latest_image

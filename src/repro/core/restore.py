@@ -122,6 +122,9 @@ class RestoreEngine:
         name_suffix: str = "",
         prefetch_hot: bool = True,
         store: Optional[ObjectStore] = None,
+        prefetch: Optional[str] = None,
+        record_faults: bool = False,
+        fault_log=None,
     ) -> tuple[list[Process], RestoreMetrics]:
         """Restore ``image``; returns (processes, metrics).
 
@@ -131,6 +134,13 @@ class RestoreEngine:
         allocates fresh PIDs (scale-out) instead of reclaiming the
         originals (crash resume).  ``store`` overrides backend lookup
         (received/migrated images that belong to no local group).
+
+        ``prefetch`` names the lazy-restore prefetch policy (``"off"``,
+        ``"recorded"``, ``"hot"``); when ``None`` the legacy
+        ``prefetch_hot`` flag picks between ``"hot"`` and ``"off"``.
+        ``record_faults`` appends this restore's page-fault sequence to
+        ``fault_log`` (a :class:`~repro.objstore.pagecache.FaultOrderLog`,
+        also the source replayed by ``prefetch="recorded"``).
         """
         kernel = kernel or self.sls.kernel
         if backend_name is None:
@@ -149,9 +159,12 @@ class RestoreEngine:
             )
         if store is None:
             store = self._store_for(image, backend_name)
+        policy = prefetch if prefetch is not None else (
+            "hot" if prefetch_hot else "off"
+        )
         return self._restore_from_store(
             image, store, backend_name, kernel, lazy, new_instance,
-            name_suffix, prefetch_hot,
+            name_suffix, policy, record_faults, fault_log,
         )
 
     def _store_for(self, image: CheckpointImage, backend_name: str) -> ObjectStore:
@@ -236,7 +249,9 @@ class RestoreEngine:
         lazy: bool,
         new_instance: bool,
         name_suffix: str,
-        prefetch_hot: bool,
+        prefetch: str,
+        record_faults: bool,
+        fault_log,
     ) -> tuple[list[Process], RestoreMetrics]:
         page_refs = image.page_refs.get(backend_name)
         if page_refs is None:
@@ -263,6 +278,7 @@ class RestoreEngine:
                 else:
                     meta = image.meta
                 payloads: dict[bytes, bytes] = {}
+                prefetched = 0
                 if not lazy:
                     all_refs = [
                         ref
@@ -271,16 +287,39 @@ class RestoreEngine:
                         if isinstance(ref, PageRef)
                     ]
                     payloads = store.read_pages_coalesced(all_refs)
-                elif prefetch_hot:
+                elif prefetch == "hot":
                     hot = meta.get("hot") or {}
                     hot_refs = []
+                    seen_hashes: set[bytes] = set()
                     for oid, pindexes in hot.items():
                         obj_refs = page_refs.get(oid, {})
-                        hot_refs.extend(
-                            obj_refs[p] for p in pindexes if p in obj_refs
-                        )
+                        for p in pindexes:
+                            ref = obj_refs.get(p)
+                            if ref is None or ref.content_hash in seen_hashes:
+                                continue  # dedup'd page already fetched
+                            seen_hashes.add(ref.content_hash)
+                            hot_refs.append(ref)
                     payloads = store.read_pages_coalesced(hot_refs)
-                read_span.set(pages_read=len(payloads))
+                elif prefetch == "recorded" and fault_log is not None:
+                    # Replay a previously recorded fault order as a
+                    # prefetch stream: warm the page cache in fault
+                    # order (coalesced batches, fanned across the
+                    # device's queues) but install nothing eagerly —
+                    # the demand faults behind the stream hit cache.
+                    replay_refs = []
+                    for rec in fault_log.entries:
+                        ref = page_refs.get(rec.oid, {}).get(rec.pindex)
+                        if isinstance(ref, PageRef):
+                            replay_refs.append(ref)
+                    prefetched = store.prefetch_pages(replay_refs)
+                    if prefetched and kernel.obs is not None:
+                        kernel.obs.registry.counter(
+                            obs_names.C_RESTORE_PAGES_PREFETCHED,
+                            group=image.group_name, backend=backend_name,
+                        ).inc(prefetched)
+                read_span.set(
+                    pages_read=len(payloads), pages_prefetched=prefetched
+                )
 
             # --- phase 2: metadata state ------------------------------------------
             with tracer.span(obs_names.SPAN_RESTORE_METADATA) as meta_span:
@@ -306,7 +345,10 @@ class RestoreEngine:
                         p: r for p, r in refs.items() if isinstance(r, PageRef)
                     }
                     if lazy:
-                        obj.pager = make_store_pager(store, typed_refs, mem)
+                        obj.pager = make_store_pager(
+                            store, typed_refs, mem, oid=oid,
+                            recorder=fault_log if record_faults else None,
+                        )
                         # Prefetch whatever the hot read brought in.
                         ready = {
                             p: payloads[r.content_hash]

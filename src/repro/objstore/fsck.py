@@ -856,6 +856,9 @@ class Fsck:
         store.directory = directory
         store.garbage = []
         store._open_batch = None
+        # The page cache indexed the pre-repair truth; hashes the
+        # repair dropped must not survive it.
+        store.pagecache.clear()
 
     def _apply_repairs(self) -> None:
         """Rebuild the store to the repaired truth and persist it.

@@ -141,13 +141,19 @@ class Scrubber:
                 ))
         return [items[off] for off in sorted(items)]
 
-    def _record_error(self, finding: FsckFinding) -> None:
+    def _record_error(self, finding: FsckFinding,
+                      page_hash: Optional[bytes] = None) -> None:
         self.findings.append(finding)
         self.stats.errors += 1
         if self._c_errors is not None:
             self._c_errors.inc()
+        if page_hash is not None:
+            # A cached clean copy must not mask the media damage the
+            # scrub just found — drop it so readers see the finding.
+            self.store.pagecache.invalidate(page_hash)
 
     def _verify(self, item: _WorkItem, raw: bytes) -> None:
+        page_hash = item.expect if item.expect_kind == KIND_PAGE else None
         try:
             header, payload = unpack_record(raw)
         except ChecksumError as exc:
@@ -155,14 +161,14 @@ class Scrubber:
                 kind=CHECKSUM_CORRUPT, snapshot=item.snapshot,
                 offset=item.extent.offset, length=item.extent.length,
                 detail=f"record fails verification: {exc}",
-            ))
+            ), page_hash=page_hash)
             return
         except ObjectStoreError as exc:
             self._record_error(FsckFinding(
                 kind=DANGLING_REF, snapshot=item.snapshot,
                 offset=item.extent.offset, length=item.extent.length,
                 detail=f"no parseable record: {exc}",
-            ))
+            ), page_hash=page_hash)
             return
         if header.kind != item.expect_kind:
             self._record_error(FsckFinding(
@@ -170,7 +176,7 @@ class Scrubber:
                 offset=item.extent.offset, length=item.extent.length,
                 detail=f"kind-{header.kind} record where kind-"
                        f"{item.expect_kind} was referenced",
-            ))
+            ), page_hash=page_hash)
             return
         if (item.expect_kind == KIND_META and item.expect is not None
                 and header.oid != item.expect):
@@ -192,28 +198,28 @@ class Scrubber:
                     kind=DELTA_CHAIN_TOO_DEEP, snapshot=item.snapshot,
                     offset=item.extent.offset, length=item.extent.length,
                     detail="delta page reconstructs through too many hops",
-                ))
+                ), page_hash=page_hash)
                 return
             except ChecksumError as exc:
                 self._record_error(FsckFinding(
                     kind=CHECKSUM_CORRUPT, snapshot=item.snapshot,
                     offset=item.extent.offset, length=item.extent.length,
                     detail=f"encoded page does not decode: {exc}",
-                ))
+                ), page_hash=page_hash)
                 return
             except ObjectStoreError as exc:
                 self._record_error(FsckFinding(
                     kind=DELTA_BROKEN_BASE, snapshot=item.snapshot,
                     offset=item.extent.offset, length=item.extent.length,
                     detail=f"delta base does not resolve: {exc}",
-                ))
+                ), page_hash=page_hash)
                 return
             if ObjectStore.page_hash(content) != item.expect:
                 self._record_error(FsckFinding(
                     kind=CHECKSUM_CORRUPT, snapshot=item.snapshot,
                     offset=item.extent.offset, length=item.extent.length,
                     detail="page content no longer matches its content hash",
-                ))
+                ), page_hash=page_hash)
 
     def step(self) -> int:
         """Verify the next batch of extents; returns how many.

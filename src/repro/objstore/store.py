@@ -29,6 +29,11 @@ from repro.objstore.alloc import Extent, ExtentAllocator
 from repro.objstore.block import SUPERBLOCK_SLOT_SIZE, Volume
 from repro.objstore.codec import PageCodec, delta_info
 from repro.objstore.dedup import DedupIndex
+from repro.objstore.pagecache import (
+    DEFAULT_PAGE_CACHE_BYTES,
+    PREFETCH_BATCH_PAGES,
+    PageCache,
+)
 from repro.objstore.record import (
     ENC_DELTA,
     ENC_RAW,
@@ -117,10 +122,17 @@ class RecoveryReport:
 class ObjectStore:
     """One object store on one backing device."""
 
-    def __init__(self, device: StorageDevice, mem: Optional[MemContext] = None):
+    def __init__(self, device: StorageDevice, mem: Optional[MemContext] = None,
+                 cache_bytes: Optional[int] = None):
         self.device = device
         self.volume = Volume(device)
         self.mem = mem
+        #: restore-side LRU cache of decoded page content, keyed by
+        #: content hash so dedup'd pages and delta bases share entries
+        #: (``cache_bytes=0`` disables it: pure read-through)
+        self.pagecache = PageCache(
+            DEFAULT_PAGE_CACHE_BYTES if cache_bytes is None else cache_bytes
+        )
         #: one allocation stripe / flush shard per device submission
         #: queue — the sharded batch flush submits each stripe's runs
         #: on its own queue so they drain in parallel
@@ -196,6 +208,7 @@ class ObjectStore:
         self._g_ratio = reg.gauge(
             obs_names.G_STORE_COMPRESSION_RATIO, store=store
         )
+        self.pagecache.attach_obs(reg, store=store)
 
     def attach_faults(self, registry: "FailpointRegistry") -> None:
         """Adopt a machine's failpoint registry for the store, its
@@ -393,6 +406,12 @@ class ObjectStore:
         )
 
     def read_page(self, ref: PageRef) -> bytes:
+        cached = self.pagecache.get(ref.content_hash)
+        if cached is not None:
+            # Serving from cache still copies the page out of the
+            # cache buffer; only the device round-trip is skipped.
+            self._charge(self.mem.cpu.page_copy_ns if self.mem else 0)
+            return cached
         raw = self.volume.read_data(
             ref.extent.offset, ref.extent.length,
             logical=HEADER_SIZE + PAGE_SIZE,
@@ -400,26 +419,59 @@ class ObjectStore:
         header, payload = unpack_record(raw)
         if header.kind != KIND_PAGE:
             raise ObjectStoreError(f"expected page record at {ref.extent.offset}")
-        return self._decode_payload(header.flags, payload)
+        return self._decode_record(ref.content_hash, header.flags, payload)
+
+    def _decode_record(self, content_hash: Optional[bytes], flags: int,
+                       stored: bytes, resolve_base=None, *,
+                       _depth: int = 0, fill: bool = True) -> bytes:
+        """Reconstruct page content from a stored record payload — the
+        *single* decode and cache-fill point for every page-read path
+        (point reads, coalesced bulk reads, delta-base resolution).
+
+        The chain-depth bound is checked once, inside
+        :meth:`~repro.objstore.codec.PageCodec.decode_page`; callers
+        supply ``resolve_base`` to prefer already-fetched bytes (the
+        coalesced stash) and default to dedup-index point reads.
+        ``fill=False`` keeps the result out of the cache (the
+        scrubber's verification path, which must observe the media).
+        """
+        if resolve_base is None:
+            def resolve_base(base_hash: bytes) -> bytes:
+                return self._resolve_base(base_hash, _depth + 1, fill=fill)
+        if flags == ENC_RAW:
+            content = stored
+        else:
+            if flags == ENC_ZLIB:
+                self._charge(self.codec.cpu.page_decompress_ns)
+            elif flags == ENC_DELTA:
+                self._charge(self.codec.cpu.delta_apply_ns)
+            content = self.codec.decode_page(
+                flags, stored, resolve_base, _depth=_depth
+            )
+        if fill and content_hash is not None:
+            self.pagecache.put(content_hash, content)
+        return content
 
     def _decode_payload(self, flags: int, stored: bytes,
                         _depth: int = 0) -> bytes:
-        """Reconstruct page content from a stored record payload,
-        resolving delta bases through the dedup index (chain-depth
-        bounded by the codec)."""
-        if flags == ENC_RAW:
-            return stored
-        if flags == ENC_ZLIB:
-            self._charge(self.codec.cpu.page_decompress_ns)
-        elif flags == ENC_DELTA:
-            self._charge(self.codec.cpu.delta_apply_ns)
-        return self.codec.decode_page(
-            flags, stored,
-            lambda base_hash: self._resolve_base(base_hash, _depth + 1),
-            _depth=_depth,
+        """Cache-*bypassing* decode of a stored record payload (delta
+        bases resolve via point reads, nothing is filled).  The
+        scrubber verifies media through this entry so a cached clean
+        copy can never mask on-media damage."""
+        return self._decode_record(
+            None, flags, stored,
+            lambda base_hash: self._resolve_base(
+                base_hash, _depth + 1, fill=False
+            ),
+            _depth=_depth, fill=False,
         )
 
-    def _resolve_base(self, base_hash: bytes, _depth: int) -> bytes:
+    def _resolve_base(self, base_hash: bytes, _depth: int,
+                      fill: bool = True) -> bytes:
+        if fill:
+            cached = self.pagecache.get(base_hash)
+            if cached is not None:
+                return cached
         entry = self.dedup.get(base_hash)
         if entry is None:
             raise ObjectStoreError(
@@ -434,9 +486,14 @@ class ObjectStore:
             raise ObjectStoreError(
                 f"delta base {base_hash.hex()} is not a page record"
             )
-        return self._decode_payload(header.flags, stored, _depth=_depth)
+        return self._decode_record(
+            base_hash if fill else None, header.flags, stored,
+            lambda h: self._resolve_base(h, _depth + 1, fill=fill),
+            _depth=_depth, fill=fill,
+        )
 
-    def read_pages_coalesced(self, refs: list[PageRef]) -> dict[bytes, bytes]:
+    def read_pages_coalesced(self, refs: list[PageRef], *,
+                             _accounted: bool = True) -> dict[bytes, bytes]:
         """Bulk-read page refs with sequential-run coalescing.
 
         Restores read whole checkpoint images; sorting the extents and
@@ -446,12 +503,29 @@ class ObjectStore:
         device's submission queues and the clock advances once to the
         slowest completion, so on a multi-queue device a restore's
         transfers overlap the same way the sharded flush's do.
-        Returns hash -> payload.
+
+        Refs whose content is already cached are served without any
+        device op; only the misses build runs.  ``_accounted=False``
+        (the prefetch path) keeps the lookups out of the demand
+        hit/miss accounting.  Returns hash -> payload.
         """
         if not refs:
             return {}
-        unique: dict[int, PageRef] = {r.extent.offset: r for r in refs}
-        ordered = sorted(unique.values(), key=lambda r: r.extent.offset)
+        wanted: dict[bytes, PageRef] = {}
+        for ref in refs:
+            wanted.setdefault(ref.content_hash, ref)
+        resolved: dict[bytes, bytes] = {}
+        missing: list[PageRef] = []
+        for content_hash, ref in wanted.items():
+            cached = (self.pagecache.get(content_hash) if _accounted
+                      else self.pagecache.peek(content_hash))
+            if cached is not None:
+                resolved[content_hash] = cached
+            else:
+                missing.append(ref)
+        if not missing:
+            return resolved
+        ordered = sorted(missing, key=lambda r: r.extent.offset)
         runs: list[list[PageRef]] = [[ordered[0]]]
         run_end = ordered[0].extent.end
         for ref in ordered[1:]:
@@ -480,12 +554,11 @@ class ObjectStore:
         # Decode pass: delta bases prefer the bytes already fetched in
         # this bulk read (commit expansion lists every base in the
         # manifest, so a restore's refs normally cover the whole chain)
-        # and only fall back to a point read for bases shared with an
-        # earlier snapshot.
-        resolved: dict[bytes, bytes] = {}
-        for ref in refs:
+        # and only fall back to the cache or a point read for bases
+        # shared with an earlier snapshot.
+        for ref in missing:
             self._decode_stashed(ref.content_hash, stash, resolved)
-        return {h: resolved[h] for h in {r.content_hash for r in refs}}
+        return resolved
 
     def _decode_stashed(self, content_hash: bytes,
                         stash: dict[bytes, tuple[int, bytes]],
@@ -497,17 +570,41 @@ class ObjectStore:
             content = self._resolve_base(content_hash, _depth)
         else:
             flags, stored = stash[content_hash]
-            if flags == ENC_ZLIB:
-                self._charge(self.codec.cpu.page_decompress_ns)
-            elif flags == ENC_DELTA:
-                self._charge(self.codec.cpu.delta_apply_ns)
-            content = self.codec.decode_page(
-                flags, stored,
+            content = self._decode_record(
+                content_hash, flags, stored,
                 lambda h: self._decode_stashed(h, stash, resolved, _depth + 1),
                 _depth=_depth,
             )
         resolved[content_hash] = content
         return content
+
+    def prefetch_pages(self, refs: list[PageRef],
+                       batch_pages: int = PREFETCH_BATCH_PAGES) -> int:
+        """Warm the page cache with ``refs``, preserving their order.
+
+        The recorded-fault-order replay path: refs are taken in the
+        given (fault) order, deduped by content hash, filtered to what
+        the cache does not already hold, and read in coalesced batches
+        — each batch fanning its runs round-robin across the device's
+        submission queues — so the faulting workload behind the
+        prefetch stream hits cache instead of the device.  The warm-up
+        lookups are deliberate, not demand, so they stay out of the
+        hit/miss accounting.  No-op (returns 0) when the cache is
+        disabled.  Returns how many pages were read in.
+        """
+        if not self.pagecache.enabled:
+            return 0
+        pending: dict[bytes, PageRef] = {}
+        for ref in refs:
+            if (ref.content_hash not in pending
+                    and self.pagecache.peek(ref.content_hash) is None):
+                pending[ref.content_hash] = ref
+        ordered = list(pending.values())
+        for start in range(0, len(ordered), batch_pages):
+            self.read_pages_coalesced(
+                ordered[start:start + batch_pages], _accounted=False
+            )
+        return len(ordered)
 
     # -- batched writes ----------------------------------------------------------------
 
@@ -731,6 +828,9 @@ class ObjectStore:
                 self.garbage.append(freed)
                 self._delta_depth.pop(ref.content_hash, None)
                 self._delta_bases.pop(ref.content_hash, None)
+                # The hash just left the store; a cached copy must not
+                # outlive the media extent (GC may reuse it).
+                self.pagecache.invalidate(ref.content_hash)
         self._release_meta(snapshot.manifest_extent)
         self.directory.remove(snap_id)
         self._write_directory(sync=sync)
@@ -796,6 +896,9 @@ class ObjectStore:
         self._logs = {}
         self._open_batch = None
         self._dir_spill = None
+        # In-memory truth is being rebuilt wholesale; drop every cached
+        # page along with the rest of the pre-crash state.
+        self.pagecache.clear()
         super_read = self.volume.read_superblock()
         if super_read is None:
             self.directory = SnapshotDirectory()

@@ -48,6 +48,7 @@ from repro.obs.registry import (
 from repro.obs.render import (
     checkpoint_reconciliation,
     render_device_utilization,
+    render_pagecache,
     render_scrub_progress,
     render_registry,
     render_span_tree,
@@ -141,6 +142,7 @@ __all__ = [
     "load_jsonl",
     "names",
     "render_device_utilization",
+    "render_pagecache",
     "render_scrub_progress",
     "render_registry",
     "render_span_tree",

@@ -99,6 +99,19 @@ C_SCHED_ADMIT_REJECTED = "sched.admission_rejected_total"
 C_SCHED_SLO_VIOLATIONS = "sched.slo_violations_total"
 #: cold starts (new lazily-restored instances) per deployed function
 C_SERVERLESS_COLD_STARTS = "serverless.cold_starts_total"
+#: restore-side page-cache demand lookups served from cache
+C_PAGECACHE_HITS = "objstore.pagecache.hits_total"
+#: restore-side page-cache demand lookups that read through to media
+C_PAGECACHE_MISSES = "objstore.pagecache.misses_total"
+#: page-cache entries dropped LRU-first to stay inside the byte budget
+C_PAGECACHE_EVICTIONS = "objstore.pagecache.evictions_total"
+#: page-cache entries dropped for safety (snapshot delete freed the
+#: hash, scrub found the media copy damaged, recovery/fsck rebuilt the
+#: store's in-memory truth)
+C_PAGECACHE_INVALIDATIONS = "objstore.pagecache.invalidations_total"
+#: pages warmed into the cache by a recorded-fault-order replay ahead
+#: of the faulting workload
+C_RESTORE_PAGES_PREFETCHED = "sls.restore_pages_prefetched_total"
 
 # --- gauges ------------------------------------------------------------------
 
@@ -118,6 +131,11 @@ G_SCHED_INFLIGHT = "sched.inflight"
 #: cost stored raw, as an integer permille (1000 = no savings; integer
 #: so metric exports stay byte-stable)
 G_STORE_COMPRESSION_RATIO = "objstore.compression_ratio_permille"
+#: decoded page bytes currently resident in the restore-side cache
+G_PAGECACHE_BYTES = "objstore.pagecache.resident_bytes"
+#: lifetime demand hit rate of the restore-side page cache, as an
+#: integer permille (integer so metric exports stay byte-stable)
+G_PAGECACHE_HIT_RATE = "objstore.pagecache.hit_rate_permille"
 
 # --- histograms (virtual nanoseconds) ----------------------------------------
 
@@ -129,6 +147,9 @@ H_RESTORE_TOTAL = "sls.restore_total_ns"
 H_TENANT_FLUSH_LAG = "sched.tenant_flush_lag_ns"
 #: invoke-to-ready latency of a cold (lazily restored) instance
 H_COLD_START = "serverless.cold_start_ns"
+#: service latency of one lazy-restore page fault (store pager entry
+#: to page content in hand — a cache hit collapses this to CPU cost)
+H_RESTORE_FAULT = "sls.restore_fault_ns"
 
 
 def catalogue() -> dict[str, list[str]]:

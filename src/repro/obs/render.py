@@ -201,6 +201,52 @@ def render_store_encoding(registry: Registry) -> Optional[str]:
     return "\n".join(lines)
 
 
+def render_pagecache(registry: Registry) -> Optional[str]:
+    """Per-store restore-side page-cache table.
+
+    One row per store showing the demand hit rate (the permille gauge
+    rendered as a percentage), hit/miss/eviction counts, and resident
+    bytes — the ``sls stats`` view of whether lazy-restore faults are
+    being served from cache or reading through to the device.  None
+    when no store has bound its cache to a registry.
+    """
+    hit_rate = {
+        inst.labels.get("store", "?"): inst
+        for inst in registry.collect()
+        if isinstance(inst, Gauge) and inst.name == names.G_PAGECACHE_HIT_RATE
+    }
+    if not hit_rate:
+        return None
+
+    def count(name: str, store: str) -> int:
+        total = 0
+        for inst in registry.collect():
+            if (isinstance(inst, Counter) and inst.name == name
+                    and inst.labels.get("store", "?") == store):
+                total += inst.value
+        return total
+
+    def gauge(name: str, store: str) -> int:
+        for inst in registry.collect():
+            if (isinstance(inst, Gauge) and inst.name == name
+                    and inst.labels.get("store", "?") == store):
+                return inst.value
+        return 0
+
+    store_w = max(len("store"), max(len(s) for s in hit_rate))
+    lines = [f"  {'store':<{store_w}}    hit%     hits   misses  evicted  resident"]
+    for store in sorted(hit_rate):
+        pct = hit_rate[store].value / 10.0
+        lines.append(
+            f"  {store:<{store_w}}  {pct:6.1f}"
+            f"  {count(names.C_PAGECACHE_HITS, store):>7}"
+            f"  {count(names.C_PAGECACHE_MISSES, store):>7}"
+            f"  {count(names.C_PAGECACHE_EVICTIONS, store):>7}"
+            f"  {gauge(names.G_PAGECACHE_BYTES, store):>8}"
+        )
+    return "\n".join(lines)
+
+
 def render_registry(registry: Registry) -> str:
     """Counters/gauges as a table, histograms with summary stats."""
     counters = [i for i in registry.collect() if isinstance(i, (Counter, Gauge))]

@@ -272,14 +272,32 @@ def install_store_pages(
 
 
 def make_store_pager(
-    store: ObjectStore, refs: dict[int, PageRef], mem
+    store: ObjectStore, refs: dict[int, PageRef], mem,
+    *, oid: Optional[int] = None, recorder=None,
 ):
-    """Lazy-restore pager: fault page content in from the object store."""
+    """Lazy-restore pager: fault page content in from the object store.
+
+    Each fault's service latency (pager entry to content in hand) is
+    observed into the per-store fault histogram; with ``recorder`` (a
+    :class:`~repro.objstore.pagecache.FaultOrderLog`) the fault order
+    is also recorded for a later replay-prefetch restore.
+    """
+    hist = None
+    if store.obs is not None:
+        hist = store.obs.registry.histogram(
+            obs_names.H_RESTORE_FAULT, store=store.device.name
+        )
 
     def pager(pindex: int) -> Optional[bytes]:
         ref = refs.get(pindex)
         if ref is None:
             return None
-        return store.read_page(ref)
+        start = store.device.clock.now
+        payload = store.read_page(ref)
+        if recorder is not None:
+            recorder.record(oid or 0, pindex, ref.content_hash)
+        if hist is not None:
+            hist.observe(store.device.clock.now - start)
+        return payload
 
     return pager

@@ -99,6 +99,44 @@ class TestAcceptance:
             == cells["nq4_qd8"]["records"]
         )
 
+    def test_restorecache_p99_collapse(self, results):
+        # The page-cache tentpole's acceptance floor: recorded-order
+        # prefetch collapses lazy-restore fault p99 by >= 2x vs. the
+        # read-through baseline at nq4 (and, in fact, everywhere).
+        for num_queues in (1, 2, 4):
+            key = f"speedup_restorecache_nq{num_queues}_x1000"
+            assert results["derived"][key] >= 2000
+
+    def test_restorecache_hit_rate_floor(self, results):
+        # The replayed restore must serve >= 90% of its demand faults
+        # from cache (the compare gate tolerances _ns/speedup_ leaves
+        # only, so the permille floor is pinned here).
+        for num_queues in (1, 2, 4):
+            cell = results["restorecache"][f"nq{num_queues}"]
+            assert cell["cache_hit_rate_permille"] >= 900
+            assert cell["recorded_faults"] > 0
+
+    def test_restorecache_prefetch_scales_with_queues(self, results):
+        # The prefetch stream fans coalesced runs round-robin across
+        # the submission queues, so its up-front cost shrinks as the
+        # queue count grows.
+        cells = results["restorecache"]
+        assert (
+            cells["nq4"]["replay_restore_ns"]
+            < cells["nq2"]["replay_restore_ns"]
+            < cells["nq1"]["replay_restore_ns"]
+        )
+
+    def test_bench_fault_log_export(self, results):
+        from repro.cli.bench import last_fault_log_jsonl
+        from repro.objstore.pagecache import FaultOrderLog
+
+        text = last_fault_log_jsonl()
+        assert text is not None  # the suite run above populated it
+        log = FaultOrderLog.from_jsonl(text)
+        assert len(log) > 0
+        assert all(len(rec.content_hash) == 20 for rec in log.entries)
+
     def test_only_runs_a_single_scenario(self, results):
         partial = run_suite(only="multiqueue_flush")
         assert set(partial) == {"meta", "multiqueue_flush", "derived"}
@@ -190,6 +228,24 @@ class TestCliEntry:
         capsys.readouterr()
         assert main(["bench", "--only", "nonesuch"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bench_fault_log_flag(self, tmp_path, capsys):
+        from repro.objstore.pagecache import FaultOrderLog
+
+        out = tmp_path / "bench.json"
+        fault_log = tmp_path / "faults.jsonl"
+        assert main([
+            "bench", "--only", "restorecache",
+            "--json", str(out), "--fault-log", str(fault_log),
+        ]) == 0
+        log = FaultOrderLog.from_jsonl(fault_log.read_text())
+        assert len(log) > 0
+        capsys.readouterr()
+        # A run that skips restorecache has no fault order to export.
+        assert main([
+            "bench", "--only", "pipeline", "--fault-log", str(fault_log),
+        ]) == 2
+        assert "restorecache" in capsys.readouterr().err
 
     def test_bench_only_rejects_compare(self, tmp_path, capsys):
         baseline = tmp_path / "baseline.json"
